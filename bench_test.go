@@ -1,0 +1,241 @@
+package mpss
+
+// One testing.B benchmark per experiment of EXPERIMENTS.md. Each runs the
+// corresponding harness cell once per iteration and validates the claim,
+// so `go test -bench=.` regenerates and re-checks every "table/figure" of
+// the reproduction. cmd/mpss-bench prints the full tables.
+
+import (
+	"testing"
+
+	"mpss/internal/bench"
+)
+
+func benchConfig() bench.Config { return bench.Config{Seeds: 2, N: 8} }
+
+func BenchmarkE1Optimality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.E1Check(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2RuntimeOptVsLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.E2(benchConfig(), []int{8, 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3OACompetitive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E3(bench.Config{Seeds: 1, N: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.RatioCheck(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4AVRCompetitive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E4(bench.Config{Seeds: 1, N: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.RatioCheck(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5Structure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E5(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.E5Check(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6OAMonotone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E6(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.E6Check(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7MigrationGain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E7(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.E7Check(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8PowerInequality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.E8Check(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9SingleProc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E9(benchConfig(), []int{4, 8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.E9Check(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks of the two core solvers at a realistic size.
+
+func BenchmarkOptimalSchedule32Jobs4Procs(b *testing.B) {
+	in, err := GenerateWorkload("uniform", WorkloadSpec{N: 32, M: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalSchedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOA16Jobs4Procs(b *testing.B) {
+	in, err := GenerateWorkload("bursty", WorkloadSpec{N: 16, M: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OA(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAVR64Jobs8Procs(b *testing.B) {
+	in, err := GenerateWorkload("uniform", WorkloadSpec{N: 64, M: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AVR(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10AVRDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E10(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.E10Check(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11FlowAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E11(benchConfig(), []int{16, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.E11Check(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12SingleProcOnline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E12(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.E12Check(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13RaceVsStretch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E13(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.E13Check(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE14GeneralConvexProbe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E14(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.E14Check(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Scaling series for the offline optimum (polynomial-time claim of
+// Theorem 1): one benchmark per instance size.
+
+func benchOptimalAt(b *testing.B, n, m int) {
+	b.Helper()
+	in, err := GenerateWorkload("uniform", WorkloadSpec{N: n, M: m, Seed: 1, Horizon: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalSchedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalScheduleN16(b *testing.B)  { benchOptimalAt(b, 16, 4) }
+func BenchmarkOptimalScheduleN64(b *testing.B)  { benchOptimalAt(b, 64, 4) }
+func BenchmarkOptimalScheduleN128(b *testing.B) { benchOptimalAt(b, 128, 4) }
+func BenchmarkOptimalScheduleN256(b *testing.B) { benchOptimalAt(b, 256, 8) }

@@ -1,0 +1,111 @@
+package mpss
+
+// End-to-end smoke tests of the command-line tools: build each binary
+// once and drive the documented pipeline
+// gen -> opt -> verify -> sim -> bench. Skipped under -short (they shell
+// out to the go toolchain).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests build binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	gen := buildTool(t, dir, "mpss-gen")
+	opt := buildTool(t, dir, "mpss-opt")
+	sim := buildTool(t, dir, "mpss-sim")
+	verify := buildTool(t, dir, "mpss-verify")
+	bench := buildTool(t, dir, "mpss-bench")
+
+	inst := filepath.Join(dir, "inst.json")
+	sched := filepath.Join(dir, "sched.json")
+	svg := filepath.Join(dir, "sched.svg")
+
+	runTool(t, gen, "-workload", "bursty", "-n", "8", "-m", "2", "-seed", "3", "-o", inst)
+	if _, err := os.Stat(inst); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runTool(t, opt, "-in", inst, "-alpha", "2", "-json", sched, "-svg", svg, "-gantt")
+	if !strings.Contains(out, "energy") || !strings.Contains(out, "phase") {
+		t.Errorf("mpss-opt output:\n%s", out)
+	}
+	for _, f := range []string{sched, svg} {
+		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+
+	out = runTool(t, verify, "-instance", inst, "-schedule", sched, "-alpha", "2", "-optimal")
+	if !strings.Contains(out, "feasible: yes") || !strings.Contains(out, "ratio: 1.000000") {
+		t.Errorf("mpss-verify output:\n%s", out)
+	}
+
+	for _, alg := range []string{"oa", "avr", "nonmig-rr"} {
+		out = runTool(t, sim, "-in", inst, "-alg", alg, "-alpha", "2")
+		if !strings.Contains(out, "ratio:") {
+			t.Errorf("mpss-sim %s output:\n%s", alg, out)
+		}
+	}
+
+	csvDir := filepath.Join(dir, "csv")
+	out = runTool(t, bench, "-experiment", "e9", "-seeds", "1", "-n", "6", "-csv", csvDir)
+	if !strings.Contains(out, "E9") {
+		t.Errorf("mpss-bench output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "e9.csv")); err != nil {
+		t.Errorf("CSV export missing: %v", err)
+	}
+}
+
+func TestCLIErrorPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests build binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	sim := buildTool(t, dir, "mpss-sim")
+	gen := buildTool(t, dir, "mpss-gen")
+
+	inst := filepath.Join(dir, "inst.json")
+	runTool(t, gen, "-n", "4", "-m", "2", "-o", inst)
+
+	// Unknown algorithm must fail with a nonzero exit.
+	if out, err := exec.Command(sim, "-in", inst, "-alg", "nope").CombinedOutput(); err == nil {
+		t.Errorf("unknown algorithm accepted:\n%s", out)
+	}
+	// BKP on m=2 must fail.
+	if out, err := exec.Command(sim, "-in", inst, "-alg", "bkp").CombinedOutput(); err == nil {
+		t.Errorf("bkp on m=2 accepted:\n%s", out)
+	}
+	// Unknown workload must fail.
+	if out, err := exec.Command(gen, "-workload", "nope").CombinedOutput(); err == nil {
+		t.Errorf("unknown workload accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,181 @@
+// Command mpss-bench regenerates the experiment tables of EXPERIMENTS.md:
+// one experiment per theorem/lemma of the paper plus the baseline
+// comparisons. See DESIGN.md section 4 for the experiment index.
+//
+// Usage:
+//
+//	mpss-bench                     # all experiments, default scale
+//	mpss-bench -experiment e3      # only the OA(m) competitive sweep
+//	mpss-bench -seeds 10 -n 16     # larger sample
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpss/internal/bench"
+	"mpss/internal/export"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "which experiment to run: all, e1..e14")
+		seeds  = flag.Int("seeds", 0, "seeds per cell (0 = default)")
+		n      = flag.Int("n", 0, "jobs per instance (0 = default)")
+		csvDir = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := bench.Defaults()
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			check(err)
+		}
+	}
+	writeCSV := func(name string, rows interface{}) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		check(err)
+		defer f.Close()
+		check(export.CSV(f, rows))
+	}
+
+	want := strings.ToLower(*exp)
+	run := func(name string) bool { return want == "all" || want == name }
+	ran := false
+
+	if run("e1") {
+		ran = true
+		rows, err := bench.E1(cfg)
+		check(err)
+		fmt.Println(bench.RenderE1(rows))
+		writeCSV("e1", rows)
+		check(bench.E1Check(rows))
+	}
+	if run("e2") {
+		ran = true
+		rows, err := bench.E2(cfg, []int{8, 16, 32, 64})
+		check(err)
+		fmt.Println(bench.RenderE2(rows))
+		writeCSV("e2", rows)
+	}
+	if run("e3") {
+		ran = true
+		rows, err := bench.E3(cfg)
+		check(err)
+		fmt.Println(bench.RenderRatios("E3 — Theorem 2: OA(m) measured ratio vs alpha^alpha", rows))
+		writeCSV("e3", rows)
+		check(bench.RatioCheck(rows))
+	}
+	if run("e4") {
+		ran = true
+		rows, err := bench.E4(cfg)
+		check(err)
+		fmt.Println(bench.RenderRatios("E4 — Theorem 3: AVR(m) measured ratio vs (2a)^a/2+1", rows))
+		writeCSV("e4", rows)
+		check(bench.RatioCheck(rows))
+	}
+	if run("e5") {
+		ran = true
+		rows, err := bench.E5(cfg)
+		check(err)
+		fmt.Println(bench.RenderE5(rows))
+		writeCSV("e5", rows)
+		check(bench.E5Check(rows))
+	}
+	if run("e6") {
+		ran = true
+		rows, err := bench.E6(cfg)
+		check(err)
+		fmt.Println(bench.RenderE6(rows))
+		writeCSV("e6", rows)
+		check(bench.E6Check(rows))
+	}
+	if run("e7") {
+		ran = true
+		rows, err := bench.E7(cfg)
+		check(err)
+		fmt.Println(bench.RenderE7(rows))
+		writeCSV("e7", rows)
+		check(bench.E7Check(rows))
+	}
+	if run("e8") {
+		ran = true
+		rows, err := bench.E8(cfg)
+		check(err)
+		fmt.Println(bench.RenderE8(rows))
+		writeCSV("e8", rows)
+		check(bench.E8Check(rows))
+	}
+	if run("e9") {
+		ran = true
+		rows, err := bench.E9(cfg, []int{4, 8, 16, 32})
+		check(err)
+		fmt.Println(bench.RenderE9(rows))
+		writeCSV("e9", rows)
+		check(bench.E9Check(rows))
+	}
+	if run("e10") {
+		ran = true
+		rows, err := bench.E10(cfg)
+		check(err)
+		fmt.Println(bench.RenderE10(rows))
+		writeCSV("e10", rows)
+		check(bench.E10Check(rows))
+	}
+	if run("e11") {
+		ran = true
+		rows, err := bench.E11(cfg, []int{16, 32, 64, 128})
+		check(err)
+		fmt.Println(bench.RenderE11(rows))
+		writeCSV("e11", rows)
+		check(bench.E11Check(rows))
+	}
+	if run("e12") {
+		ran = true
+		rows, err := bench.E12(cfg)
+		check(err)
+		fmt.Println(bench.RenderE12(rows))
+		writeCSV("e12", rows)
+		check(bench.E12Check(rows))
+	}
+	if run("e13") {
+		ran = true
+		rows, err := bench.E13(cfg)
+		check(err)
+		fmt.Println(bench.RenderE13(rows))
+		writeCSV("e13", rows)
+		check(bench.E13Check(rows))
+	}
+	if run("e14") {
+		ran = true
+		rows, err := bench.E14(cfg)
+		check(err)
+		fmt.Println(bench.RenderE14(rows))
+		writeCSV("e14", rows)
+		check(bench.E14Check(rows))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "mpss-bench: unknown experiment %q (want all or e1..e14)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpss-bench:", err)
+		os.Exit(1)
+	}
+}

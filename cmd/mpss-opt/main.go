@@ -1,0 +1,106 @@
+// Command mpss-opt computes an energy-optimal multi-processor schedule
+// with migration (Theorem 1 of the paper) for a JSON instance.
+//
+// Usage:
+//
+//	mpss-gen -n 10 -m 3 | mpss-opt -alpha 3 -gantt
+//	mpss-opt -in instance.json -exact -json schedule.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mpss"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "instance JSON file (default stdin)")
+		alpha   = flag.Float64("alpha", 3, "power function exponent (P(s) = s^alpha)")
+		exact   = flag.Bool("exact", false, "use exact rational arithmetic for phase decisions")
+		gantt   = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		jsonOut = flag.String("json", "", "write the schedule as JSON to this file")
+		svgOut  = flag.String("svg", "", "write the schedule as an SVG figure to this file")
+	)
+	flag.Parse()
+
+	in, err := readInstance(*inPath)
+	if err != nil {
+		fail(err)
+	}
+	p, err := mpss.NewAlpha(*alpha)
+	if err != nil {
+		fail(err)
+	}
+
+	solve := mpss.OptimalSchedule
+	if *exact {
+		solve = mpss.OptimalScheduleExact
+	}
+	res, err := solve(in)
+	if err != nil {
+		fail(err)
+	}
+	if err := mpss.Verify(res.Schedule, in); err != nil {
+		fail(fmt.Errorf("internal error — produced schedule failed verification: %w", err))
+	}
+
+	fmt.Printf("jobs: %d  processors: %d  phases: %d  flow-rounds: %d\n",
+		in.N(), in.M, len(res.Phases), res.Stats.Rounds)
+	for i, ph := range res.Phases {
+		fmt.Printf("  phase %d: speed %.6g, jobs %v\n", i+1, ph.Speed, ph.JobIDs)
+	}
+	fmt.Printf("energy (P=s^%g): %.6g\n", *alpha, res.Schedule.Energy(p))
+	if *gantt {
+		fmt.Print(res.Schedule.Gantt(100))
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res.Schedule, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := mpss.RenderSVG(f, res.Schedule, mpss.SVGOptions{ShowLabels: true}); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func readInstance(path string) (*mpss.Instance, error) {
+	var data []byte
+	var err error
+	if path == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var in mpss.Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("parsing instance: %w", err)
+	}
+	return &in, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mpss-opt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command mpss-sim runs an online speed-scaling algorithm on a JSON
+// instance and reports its energy and measured competitive ratio against
+// the offline optimum.
+//
+// Usage:
+//
+//	mpss-gen -n 16 -m 4 -workload bursty | mpss-sim -alg oa -alpha 2
+//	mpss-sim -in instance.json -alg avr -gantt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mpss"
+)
+
+func main() {
+	var (
+		inPath = flag.String("in", "", "instance JSON file (default stdin)")
+		alg    = flag.String("alg", "oa", "algorithm: oa, avr, bkp (m=1), nonmig-random, nonmig-rr, nonmig-lw")
+		alpha  = flag.Float64("alpha", 2, "power function exponent")
+		seed   = flag.Int64("seed", 1, "seed for nonmig-random")
+		gantt  = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+	)
+	flag.Parse()
+
+	in, err := readInstance(*inPath)
+	if err != nil {
+		fail(err)
+	}
+	p, err := mpss.NewAlpha(*alpha)
+	if err != nil {
+		fail(err)
+	}
+
+	var sched *mpss.Schedule
+	var bound float64
+	switch *alg {
+	case "oa":
+		res, err := mpss.OA(in)
+		if err != nil {
+			fail(err)
+		}
+		sched = res.Schedule
+		bound = mpss.OABound(*alpha)
+		fmt.Printf("OA(m): %d replanning events\n", res.Replans)
+	case "avr":
+		res, err := mpss.AVR(in)
+		if err != nil {
+			fail(err)
+		}
+		sched = res.Schedule
+		bound = mpss.AVRBound(*alpha)
+		fmt.Printf("AVR(m): %d scheduling intervals\n", len(res.Levels))
+	case "nonmig-random":
+		sched, err = mpss.NonMigratory(in, mpss.RandomAssignment(*seed))
+	case "nonmig-rr":
+		sched, err = mpss.NonMigratory(in, mpss.RoundRobinAssignment())
+	case "nonmig-lw":
+		sched, err = mpss.NonMigratory(in, mpss.LeastWorkAssignment())
+	case "bkp":
+		if in.M != 1 {
+			fail(fmt.Errorf("bkp is a single-processor algorithm; instance has m=%d", in.M))
+		}
+		sched, err = mpss.BKP(in.Jobs, 24)
+		bound = mpss.BKPBound(*alpha)
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+	if err != nil {
+		fail(err)
+	}
+	if err := mpss.Verify(sched, in); err != nil {
+		fail(fmt.Errorf("produced schedule failed verification: %w", err))
+	}
+
+	opt, err := mpss.OptimalSchedule(in)
+	if err != nil {
+		fail(err)
+	}
+	algE := sched.Energy(p)
+	optE := opt.Schedule.Energy(p)
+	fmt.Printf("energy:  %s = %.6g, offline optimum = %.6g\n", *alg, algE, optE)
+	fmt.Printf("ratio:   %.4f", algE/optE)
+	if bound > 0 {
+		fmt.Printf("  (proven bound %.4f)", bound)
+	}
+	fmt.Println()
+	if *gantt {
+		fmt.Print(sched.Gantt(100))
+	}
+}
+
+func readInstance(path string) (*mpss.Instance, error) {
+	var data []byte
+	var err error
+	if path == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var in mpss.Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("parsing instance: %w", err)
+	}
+	return &in, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mpss-sim:", err)
+	os.Exit(1)
+}

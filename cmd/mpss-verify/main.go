@@ -1,0 +1,76 @@
+// Command mpss-verify checks a schedule JSON against an instance JSON:
+// feasibility (windows, volumes, no processor or job overlap), energy
+// under a chosen power function, and optionally optimality against the
+// built-in offline optimum.
+//
+// Usage:
+//
+//	mpss-opt -in inst.json -json sched.json
+//	mpss-verify -instance inst.json -schedule sched.json -alpha 3 -optimal
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mpss"
+)
+
+func main() {
+	var (
+		instPath  = flag.String("instance", "", "instance JSON file (required)")
+		schedPath = flag.String("schedule", "", "schedule JSON file (required)")
+		alpha     = flag.Float64("alpha", 3, "power function exponent for energy reporting")
+		optimal   = flag.Bool("optimal", false, "also compare against the offline optimum")
+	)
+	flag.Parse()
+	if *instPath == "" || *schedPath == "" {
+		fmt.Fprintln(os.Stderr, "mpss-verify: -instance and -schedule are required")
+		os.Exit(2)
+	}
+
+	in := readJSON[mpss.Instance](*instPath)
+	sched := readJSON[mpss.Schedule](*schedPath)
+
+	if err := mpss.Verify(sched, in); err != nil {
+		fmt.Fprintln(os.Stderr, "INFEASIBLE:", err)
+		os.Exit(1)
+	}
+	p, err := mpss.NewAlpha(*alpha)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpss-verify:", err)
+		os.Exit(2)
+	}
+	e := sched.Energy(p)
+	fmt.Printf("feasible: yes\nenergy (P=s^%g): %.6g\n", *alpha, e)
+
+	m := sched.ComputeMetrics()
+	fmt.Printf("segments: %d  migrations: %d  preemptions: %d  utilization: %.3f\n",
+		m.Segments, m.Migrations, m.Preemptions, m.Utilization)
+
+	if *optimal {
+		res, err := mpss.OptimalSchedule(in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpss-verify:", err)
+			os.Exit(1)
+		}
+		optE := res.Schedule.Energy(p)
+		fmt.Printf("offline optimum: %.6g  ratio: %.6f\n", optE, e/optE)
+	}
+}
+
+func readJSON[T any](path string) *T {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpss-verify:", err)
+		os.Exit(2)
+	}
+	var v T
+	if err := json.Unmarshal(data, &v); err != nil {
+		fmt.Fprintf(os.Stderr, "mpss-verify: parsing %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return &v
+}

@@ -1,0 +1,74 @@
+// Convexpower: the offline algorithm never looks at the power function,
+// so ONE schedule is optimal simultaneously for every convex
+// non-decreasing P with P(0)=0. This example prices the same schedule
+// under four different power models — including a discrete-speed menu —
+// and cross-checks each against an independent baseline.
+//
+//	go run ./examples/convexpower
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpss"
+)
+
+func main() {
+	in, err := mpss.GenerateWorkload("uniform", mpss.WorkloadSpec{
+		N: 12, M: 3, Seed: 4, Horizon: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := mpss.OptimalSchedule(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one optimal schedule (%d phases) priced under different power models:\n\n",
+		len(res.Phases))
+
+	// 1. The classic cube-root rule.
+	cube := mpss.MustAlpha(3)
+	fmt.Printf("%-42s %10.4f\n", "P(s) = s^3 (cube-root rule)", res.Schedule.Energy(cube))
+
+	// 2. A quadratic dynamic term plus linear switching losses.
+	poly, err := mpss.NewPolynomial(mpss.PowerTerm{C: 1, E: 2}, mpss.PowerTerm{C: 0.3, E: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-42s %10.4f\n", "P(s) = s^2 + 0.3 s (dynamic + switching)", res.Schedule.Energy(poly))
+
+	// 3. A measured-looking piecewise-linear curve.
+	top := res.Phases[0].Speed * 1.5
+	pl, err := mpss.SamplePiecewiseAlpha(2.5, top, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-42s %10.4f\n", "P(s) = 12-segment PL fit of s^2.5", res.Schedule.Energy(pl))
+
+	// 4. Discrete speed steps (DVFS with 6 P-states): the reduction mixes
+	// adjacent levels and stays provably optimal for the menu.
+	menu, err := mpss.UniformSpeedMenu(top, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	disc, err := mpss.DiscreteSchedule(in, cube, menu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-42s %10.4f  (%d segments split)\n",
+		"6-level DVFS menu under s^3", disc.Energy, disc.Splits)
+	if err := mpss.Verify(disc.Schedule, in); err != nil {
+		log.Fatal(err)
+	}
+
+	cont := res.Schedule.Energy(cube)
+	fmt.Printf("\ndiscrete premium over continuous at 6 levels: %.2f%%\n",
+		100*(disc.Energy-cont)/cont)
+
+	m := res.Schedule.ComputeMetrics()
+	fmt.Printf("schedule shape: %d segments, %d migrations, %d preemptions, %.0f%% utilization\n",
+		m.Segments, m.Migrations, m.Preemptions, 100*m.Utilization)
+}

@@ -1,0 +1,67 @@
+// Datacenter: a bursty server-farm workload on eight processors.
+// Compares the migratory optimum against non-migratory assignment
+// policies and the two online algorithms — the comparison that motivates
+// migration in the paper's introduction.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpss"
+)
+
+func main() {
+	const m = 8
+	in, err := mpss.GenerateWorkload("bursty", mpss.WorkloadSpec{
+		N: 40, M: m, Seed: 2026, Horizon: 200,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := mpss.MustAlpha(3) // cube-root rule for CMOS
+
+	opt, err := mpss.OptimalSchedule(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optE := opt.Schedule.Energy(p)
+
+	fmt.Printf("bursty server-farm: %d jobs on %d processors, P(s)=s^3\n\n", in.N(), m)
+	fmt.Printf("%-34s %12s %8s\n", "scheduler", "energy", "vs opt")
+	report := func(name string, e float64) {
+		fmt.Printf("%-34s %12.2f %7.2fx\n", name, e, e/optE)
+	}
+	report("offline optimum (migration)", optE)
+
+	oa, err := mpss.OA(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("OA(m) online", oa.Schedule.Energy(p))
+
+	avr, err := mpss.AVR(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("AVR(m) online", avr.Schedule.Energy(p))
+
+	for name, a := range map[string]mpss.Assignment{
+		"non-migratory: random + YDS":      mpss.RandomAssignment(1),
+		"non-migratory: round-robin + YDS": mpss.RoundRobinAssignment(),
+		"non-migratory: least-work + YDS":  mpss.LeastWorkAssignment(),
+	} {
+		s, err := mpss.NonMigratory(in, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(name, s.Energy(p))
+	}
+
+	fmt.Printf("\nproven online bounds at alpha=3: OA %.0f, AVR %.0f\n",
+		mpss.OABound(3), mpss.AVRBound(3))
+	fmt.Printf("optimum uses %d distinct speed levels across %d jobs\n",
+		len(opt.Phases), in.N())
+}

@@ -1,0 +1,69 @@
+// Onlinecluster: watch OA(m) react to a live arrival stream. Prints each
+// replanning event with the speed of every live job, making Lemma 7 of
+// the paper (job speeds only ever rise when new work arrives) visible in
+// the trace.
+//
+//	go run ./examples/onlinecluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mpss"
+)
+
+func main() {
+	in, err := mpss.GenerateWorkload("uniform", mpss.WorkloadSpec{
+		N: 10, M: 3, Seed: 11, Horizon: 60,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := mpss.MustAlpha(2)
+
+	res, err := mpss.OA(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mpss.Verify(res.Schedule, in); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("OA(3) on a %d-job arrival stream — replanning trace\n\n", in.N())
+	prev := map[int]float64{}
+	for i, ev := range res.Events {
+		fmt.Printf("t=%6.2f  replan %d, %d live jobs\n", ev.Time, i+1, len(ev.JobSpeeds))
+		ids := make([]int, 0, len(ev.JobSpeeds))
+		for id := range ev.JobSpeeds {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			s := ev.JobSpeeds[id]
+			marker := ""
+			if old, ok := prev[id]; ok {
+				switch {
+				case s > old+1e-9:
+					marker = fmt.Sprintf("  (up from %.3f — Lemma 7)", old)
+				case s < old-1e-6:
+					marker = "  (DROPPED — would contradict Lemma 7!)"
+				}
+			}
+			fmt.Printf("    job %2d: speed %.3f, remaining %.2f%s\n",
+				id, s, ev.Remaining[id], marker)
+		}
+		prev = ev.JobSpeeds
+	}
+
+	opt, err := mpss.OptimalSchedule(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oaE, optE := res.Schedule.Energy(p), opt.Schedule.Energy(p)
+	fmt.Printf("\nenergy: OA=%.3f, offline optimum=%.3f, ratio %.4f (bound %.0f)\n",
+		oaE, optE, oaE/optE, mpss.OABound(2))
+	fmt.Println()
+	fmt.Print(res.Schedule.Gantt(80))
+}

@@ -1,0 +1,50 @@
+// Quickstart: schedule a handful of jobs on two variable-speed processors
+// and print the optimal plan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpss"
+)
+
+func main() {
+	// Three jobs on two processors. Job 1 is urgent and heavy; jobs 2 and
+	// 3 are relaxed background work.
+	jobs := []mpss.Job{
+		{ID: 1, Release: 0, Deadline: 2, Work: 8},
+		{ID: 2, Release: 0, Deadline: 10, Work: 6},
+		{ID: 3, Release: 4, Deadline: 10, Work: 3},
+	}
+	in, err := mpss.NewInstance(2, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := mpss.OptimalSchedule(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mpss.Verify(res.Schedule, in); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Optimal multi-processor schedule with migration")
+	fmt.Println("(each phase is one uniform speed level of the optimum)")
+	for i, ph := range res.Phases {
+		fmt.Printf("  phase %d: jobs %v run at speed %.3f\n", i+1, ph.JobIDs, ph.Speed)
+	}
+
+	// The same schedule is optimal for every convex power function;
+	// the power function only changes the reported energy.
+	for _, alpha := range []float64{2, 3} {
+		p := mpss.MustAlpha(alpha)
+		fmt.Printf("energy under P(s)=s^%g: %.3f\n", alpha, res.Schedule.Energy(p))
+	}
+
+	fmt.Println()
+	fmt.Print(res.Schedule.Gantt(72))
+}

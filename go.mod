@@ -1,0 +1,3 @@
+module mpss
+
+go 1.22

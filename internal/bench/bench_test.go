@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// A small configuration keeps the full harness runnable inside the unit
+// test budget; cmd/mpss-bench runs the Defaults().
+func small() Config { return Config{Seeds: 2, N: 8} }
+
+func TestE1(t *testing.T) {
+	rows, err := E1(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if err := E1Check(rows); err != nil {
+		t.Error(err)
+	}
+	out := RenderE1(rows)
+	if !strings.Contains(out, "opt/fw") {
+		t.Errorf("render missing header:\n%s", out)
+	}
+}
+
+func TestE2(t *testing.T) {
+	rows, err := E2(small(), []int{6, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OptNanos <= 0 || r.LPNanos <= 0 {
+			t.Errorf("non-positive timings: %+v", r)
+		}
+	}
+	if out := RenderE2(rows); !strings.Contains(out, "lp/opt") {
+		t.Error("render missing header")
+	}
+}
+
+func TestE3(t *testing.T) {
+	rows, err := E3(Config{Seeds: 2, N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RatioCheck(rows); err != nil {
+		t.Error(err)
+	}
+	if out := RenderRatios("E3", rows); !strings.Contains(out, "bound") {
+		t.Error("render missing header")
+	}
+}
+
+func TestE4(t *testing.T) {
+	rows, err := E4(Config{Seeds: 2, N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RatioCheck(rows); err != nil {
+		t.Error(err)
+	}
+	// The adversarial gadget rows must be present.
+	found := false
+	for _, r := range rows {
+		if r.Workload == "avr-adversarial" {
+			found = true
+			if r.Max <= 1 {
+				t.Errorf("adversarial gadget did not stress AVR: ratio %v", r.Max)
+			}
+		}
+	}
+	if !found {
+		t.Error("no adversarial rows")
+	}
+}
+
+func TestE5(t *testing.T) {
+	rows, err := E5(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := E5Check(rows); err != nil {
+		t.Error(err)
+	}
+	if out := RenderE5(rows); !strings.Contains(out, "lemma3") {
+		t.Error("render missing header")
+	}
+}
+
+func TestE6(t *testing.T) {
+	rows, err := E6(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := E6Check(rows); err != nil {
+		t.Error(err)
+	}
+	if out := RenderE6(rows); !strings.Contains(out, "job-speed-drops") {
+		t.Error("render missing header")
+	}
+}
+
+func TestE7(t *testing.T) {
+	rows, err := E7(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := E7Check(rows); err != nil {
+		t.Error(err)
+	}
+	if out := RenderE7(rows); !strings.Contains(out, "best-of-3") {
+		t.Error("render missing header")
+	}
+}
+
+func TestE8(t *testing.T) {
+	rows, err := E8(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := E8Check(rows); err != nil {
+		t.Error(err)
+	}
+	if out := RenderE8(rows); !strings.Contains(out, "min-ratio") {
+		t.Error("render missing header")
+	}
+}
+
+func TestE9(t *testing.T) {
+	rows, err := E9(small(), []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := E9Check(rows); err != nil {
+		t.Error(err)
+	}
+	if out := RenderE9(rows); !strings.Contains(out, "max-rel-diff") {
+		t.Error("render missing header")
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.normalize()
+	if c.Seeds <= 0 || c.N <= 0 {
+		t.Errorf("normalize left zeros: %+v", c)
+	}
+	d := Defaults()
+	if d.Seeds <= 0 || d.N <= 0 {
+		t.Errorf("bad defaults: %+v", d)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "--") {
+		t.Errorf("table output:\n%s", out)
+	}
+}
+
+func TestE10(t *testing.T) {
+	rows, err := E10(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := E10Check(rows); err != nil {
+		t.Error(err)
+	}
+	if out := RenderE10(rows); !strings.Contains(out, "decomp") {
+		t.Error("render missing header")
+	}
+}
+
+func TestE11(t *testing.T) {
+	rows, err := E11(small(), []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := E11Check(rows); err != nil {
+		t.Error(err)
+	}
+	for _, r := range rows {
+		if r.DinicNanos <= 0 || r.PRNanos <= 0 {
+			t.Errorf("non-positive timings: %+v", r)
+		}
+	}
+	if out := RenderE11(rows); !strings.Contains(out, "push-relabel") {
+		t.Error("render missing header")
+	}
+}
+
+func TestE12(t *testing.T) {
+	rows, err := E12(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := E12Check(rows); err != nil {
+		t.Error(err)
+	}
+	if out := RenderE12(rows); !strings.Contains(out, "bkp") {
+		t.Error("render missing header")
+	}
+}
+
+func TestE13(t *testing.T) {
+	rows, err := E13(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := E13Check(rows); err != nil {
+		t.Error(err)
+	}
+	if out := RenderE13(rows); !strings.Contains(out, "race-wins") {
+		t.Error("render missing header")
+	}
+}
+
+func TestE14(t *testing.T) {
+	rows, err := E14(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := E14Check(rows); err != nil {
+		t.Error(err)
+	}
+	if out := RenderE14(rows); !strings.Contains(out, "oa-max") {
+		t.Error("render missing header")
+	}
+}

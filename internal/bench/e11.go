@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"time"
+
+	"mpss/internal/flow"
+	"mpss/internal/job"
+	"mpss/internal/workload"
+)
+
+// E11Row is one size point of the flow-solver ablation: the same
+// scheduler-shaped network G(all jobs, m, W/P) solved by Dinic, by
+// push-relabel, and (at small sizes) by the exact rational solver.
+type E11Row struct {
+	N          int
+	Vertices   int
+	Edges      int
+	DinicNanos int64
+	PRNanos    int64
+	ExactNanos int64 // 0 = skipped (too slow at this size)
+	Agree      bool  // all computed values matched
+}
+
+// exactSizeCap bounds the rational-arithmetic leg of the ablation.
+const exactSizeCap = 32
+
+// E11 times the three max-flow implementations on the real network shape
+// the scheduler builds, justifying the choice of Dinic for the fast path.
+func E11(cfg Config, sizes []int) ([]E11Row, error) {
+	cfg = cfg.normalize()
+	if len(sizes) == 0 {
+		sizes = []int{16, 32, 64, 128}
+	}
+	var rows []E11Row
+	for _, n := range sizes {
+		row := E11Row{N: n, Agree: true}
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			in, err := workload.Uniform(workload.Spec{N: n, M: 4, Seed: int64(seed), Horizon: 50})
+			if err != nil {
+				return nil, err
+			}
+			net := buildPhaseNetwork(in)
+			row.Vertices = net.vertices
+			row.Edges = len(net.edges)
+
+			t0 := time.Now()
+			dg := flow.NewGraph(net.vertices)
+			for _, e := range net.edges {
+				dg.AddEdge(e.from, e.to, e.cap)
+			}
+			dv := dg.MaxFlow(0, net.vertices-1)
+			row.DinicNanos += time.Since(t0).Nanoseconds()
+
+			t1 := time.Now()
+			pg := flow.NewPRGraph(net.vertices)
+			for _, e := range net.edges {
+				pg.AddEdge(e.from, e.to, e.cap)
+			}
+			pv := pg.MaxFlow(0, net.vertices-1)
+			row.PRNanos += time.Since(t1).Nanoseconds()
+
+			if math.Abs(dv-pv) > 1e-6*(1+dv) {
+				row.Agree = false
+			}
+
+			if n <= exactSizeCap {
+				t2 := time.Now()
+				rg := flow.NewRatGraph(net.vertices)
+				for _, e := range net.edges {
+					rg.AddEdge(e.from, e.to, new(big.Rat).SetFloat64(e.cap))
+				}
+				rvRat := rg.MaxFlow(0, net.vertices-1)
+				row.ExactNanos += time.Since(t2).Nanoseconds()
+				rv, _ := rvRat.Float64()
+				if math.Abs(dv-rv) > 1e-6*(1+dv) {
+					row.Agree = false
+				}
+			}
+		}
+		s := int64(cfg.Seeds)
+		row.DinicNanos /= s
+		row.PRNanos /= s
+		if row.ExactNanos > 0 {
+			row.ExactNanos /= s
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+type netEdge struct {
+	from, to int
+	cap      float64
+}
+
+type phaseNetwork struct {
+	vertices int
+	edges    []netEdge
+}
+
+// buildPhaseNetwork constructs G(J, m, s) for the full job set at the
+// uniform speed s = W / (m * horizon-capacity) — the first-round network
+// of the offline algorithm's first phase.
+func buildPhaseNetwork(in *job.Instance) phaseNetwork {
+	ivs := job.Partition(in.Jobs)
+	var totalTime, totalWork float64
+	for _, iv := range ivs {
+		totalTime += float64(in.M) * iv.Len()
+	}
+	for _, j := range in.Jobs {
+		totalWork += j.Work
+	}
+	s := totalWork / totalTime
+
+	net := phaseNetwork{vertices: 2 + in.N() + len(ivs)}
+	sink := net.vertices - 1
+	for k, j := range in.Jobs {
+		net.edges = append(net.edges, netEdge{0, 1 + k, j.Work / s})
+		for jx, iv := range ivs {
+			if j.ActiveIn(iv.Start, iv.End) {
+				net.edges = append(net.edges, netEdge{1 + k, 1 + in.N() + jx, iv.Len()})
+			}
+		}
+	}
+	for jx, iv := range ivs {
+		net.edges = append(net.edges, netEdge{1 + in.N() + jx, sink, float64(in.M) * iv.Len()})
+	}
+	return net
+}
+
+// RenderE11 prints the E11 table.
+func RenderE11(rows []E11Row) string {
+	out := [][]string{}
+	for _, r := range rows {
+		exact := "-"
+		if r.ExactNanos > 0 {
+			exact = dur(r.ExactNanos)
+		}
+		out = append(out, []string{
+			d(r.N), d(r.Vertices), d(r.Edges),
+			dur(r.DinicNanos), dur(r.PRNanos), exact, fmt.Sprintf("%v", r.Agree),
+		})
+	}
+	return "E11 — ablation: max-flow solvers on scheduler-shaped networks (m=4)\n" +
+		table([]string{"n", "vertices", "edges", "dinic", "push-relabel", "exact-rat", "agree"}, out)
+}
+
+// E11Check requires all solvers to agree.
+func E11Check(rows []E11Row) error {
+	for _, r := range rows {
+		if !r.Agree {
+			return fmt.Errorf("E11 n=%d: solvers disagreed", r.N)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"mpss/internal/bkp"
+	"mpss/internal/online"
+	"mpss/internal/power"
+	"mpss/internal/workload"
+	"mpss/internal/yds"
+)
+
+// E12Row compares the three classic single-processor online algorithms on
+// one (workload, alpha) cell: mean measured ratio against YDS for each,
+// with the proven bounds. The paper's conclusion raises extending BKP to
+// multiple processors as an open problem; this experiment reproduces the
+// single-processor landscape that motivates it.
+type E12Row struct {
+	Workload string
+	Alpha    float64
+	Seeds    int
+	OA       float64 // mean ratio of Optimal Available
+	AVR      float64 // mean ratio of Average Rate
+	BKP      float64 // mean ratio of Bansal-Kimbrel-Pruhs
+	OABound  float64
+	AVRBound float64
+	BKPBound float64
+}
+
+// E12 measures the single-processor online algorithms against YDS.
+func E12(cfg Config) ([]E12Row, error) {
+	cfg = cfg.normalize()
+	var rows []E12Row
+	for _, gname := range []string{"uniform", "bursty"} {
+		gen, err := workload.ByName(gname)
+		if err != nil {
+			return nil, err
+		}
+		for _, alpha := range []float64{1.5, 2, 3} {
+			p := power.MustAlpha(alpha)
+			row := E12Row{
+				Workload: gname, Alpha: alpha, Seeds: cfg.Seeds,
+				OABound: p.OABound(), AVRBound: p.AVRBound(), BKPBound: bkp.Bound(alpha),
+			}
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				in, err := gen.Make(workload.Spec{N: cfg.N, M: 1, Seed: int64(seed)})
+				if err != nil {
+					return nil, err
+				}
+				optE, err := yds.Energy(in.Jobs, p)
+				if err != nil {
+					return nil, err
+				}
+				oa, err := online.OA(in)
+				if err != nil {
+					return nil, fmt.Errorf("E12 OA %s seed=%d: %w", gname, seed, err)
+				}
+				avr, err := online.AVR(in)
+				if err != nil {
+					return nil, fmt.Errorf("E12 AVR %s seed=%d: %w", gname, seed, err)
+				}
+				bk, err := bkp.Schedule(in.Jobs, bkp.Options{SlicesPerInterval: 24})
+				if err != nil {
+					return nil, fmt.Errorf("E12 BKP %s seed=%d: %w", gname, seed, err)
+				}
+				row.OA += oa.Schedule.Energy(p) / optE
+				row.AVR += avr.Schedule.Energy(p) / optE
+				row.BKP += bk.Energy(p) / optE
+			}
+			s := float64(cfg.Seeds)
+			row.OA /= s
+			row.AVR /= s
+			row.BKP /= s
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderE12 prints the E12 table.
+func RenderE12(rows []E12Row) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Workload, f3(r.Alpha), d(r.Seeds),
+			f4(r.OA), f4(r.AVR), f4(r.BKP),
+			f3(r.OABound), f3(r.AVRBound), f3(r.BKPBound),
+		})
+	}
+	return "E12 — single-processor online landscape: mean ratio vs YDS (m=1)\n" +
+		table([]string{"workload", "alpha", "seeds", "oa", "avr", "bkp", "oa-bound", "avr-bound", "bkp-bound"}, out)
+}
+
+// E12Check verifies every mean ratio sits in [1, bound].
+func E12Check(rows []E12Row) error {
+	for _, r := range rows {
+		checks := []struct {
+			name         string
+			ratio, bound float64
+		}{
+			{"OA", r.OA, r.OABound},
+			{"AVR", r.AVR, r.AVRBound},
+			{"BKP", r.BKP, r.BKPBound},
+		}
+		for _, c := range checks {
+			if math.IsNaN(c.ratio) || c.ratio < 1-1e-6 {
+				return fmt.Errorf("E12 %s alpha=%v: %s ratio %v below 1", r.Workload, r.Alpha, c.name, c.ratio)
+			}
+			if c.ratio > c.bound+1e-6 {
+				return fmt.Errorf("E12 %s alpha=%v: %s ratio %v above bound %v", r.Workload, r.Alpha, c.name, c.ratio, c.bound)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"mpss/internal/online"
+	"mpss/internal/workload"
+)
+
+// E6Row summarizes the OA(m) monotonicity audit (Lemmas 7, 8, 10) on one
+// workload family.
+type E6Row struct {
+	Workload         string
+	Seeds            int
+	Replans          int     // total replanning events audited
+	JobSpeedDrops    int     // Lemma 7 violations observed
+	MinSpeedDrops    int     // Lemma 8 violations observed
+	MaxSpeedIncrease float64 // largest observed per-job speed jump
+}
+
+// E6 replays OA(m) arrival traces and audits that job speeds and the
+// minimum processor speed never decrease when a new job arrives.
+func E6(cfg Config) ([]E6Row, error) {
+	cfg = cfg.normalize()
+	var rows []E6Row
+	for _, gname := range []string{"uniform", "bursty", "longshort"} {
+		gen, err := workload.ByName(gname)
+		if err != nil {
+			return nil, err
+		}
+		row := E6Row{Workload: gname, Seeds: cfg.Seeds}
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			in, err := gen.Make(workload.Spec{N: cfg.N, M: 3, Seed: int64(seed)})
+			if err != nil {
+				return nil, err
+			}
+			res, err := online.OA(in)
+			if err != nil {
+				return nil, fmt.Errorf("E6 %s seed=%d: %w", gname, seed, err)
+			}
+			row.Replans += res.Replans
+			for i := 1; i < len(res.Events); i++ {
+				prev, cur := res.Events[i-1], res.Events[i]
+				for id, sPrev := range prev.JobSpeeds {
+					sCur, live := cur.JobSpeeds[id]
+					if !live {
+						continue
+					}
+					if sCur < sPrev-1e-6*(1+sPrev) {
+						row.JobSpeedDrops++
+					}
+					if jump := sCur - sPrev; jump > row.MaxSpeedIncrease {
+						row.MaxSpeedIncrease = jump
+					}
+				}
+				_, hPrev := prev.Plan.Span()
+				_, hCur := cur.Plan.Span()
+				end := math.Min(hPrev, hCur)
+				for f := 0.1; f < 1; f += 0.2 {
+					tt := cur.Time + (end-cur.Time)*f
+					if tt <= cur.Time {
+						continue
+					}
+					if cur.Plan.MinSpeedAt(tt) < prev.Plan.MinSpeedAt(tt)-1e-6 {
+						row.MinSpeedDrops++
+					}
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderE6 prints the E6 table.
+func RenderE6(rows []E6Row) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Workload, d(r.Seeds), d(r.Replans),
+			d(r.JobSpeedDrops), d(r.MinSpeedDrops), f3(r.MaxSpeedIncrease),
+		})
+	}
+	return "E6 — Lemmas 7/8: OA(m) speed monotonicity under arrivals (m=3)\n" +
+		table([]string{"workload", "seeds", "replans", "job-speed-drops", "min-speed-drops", "max-jump"}, out)
+}
+
+// E6Check requires zero observed violations.
+func E6Check(rows []E6Row) error {
+	for _, r := range rows {
+		if r.JobSpeedDrops > 0 {
+			return fmt.Errorf("E6 %s: %d Lemma-7 violations", r.Workload, r.JobSpeedDrops)
+		}
+		if r.MinSpeedDrops > 0 {
+			return fmt.Errorf("E6 %s: %d Lemma-8 violations", r.Workload, r.MinSpeedDrops)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package bg
+
+import (
+	"math"
+	"testing"
+
+	"mpss/internal/job"
+	"mpss/internal/opt"
+	"mpss/internal/power"
+	"mpss/internal/workload"
+)
+
+func TestSingleJob(t *testing.T) {
+	in, _ := job.NewInstance(1, []job.Job{{ID: 1, Release: 0, Deadline: 4, Work: 8}})
+	p := power.MustAlpha(2)
+	res, err := Solve(in, p, Options{SpeedLevels: 8, MaxSpeed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Density 2 is on the grid (grid step 0.5): LP should hit exactly
+	// 2^2 * 4 = 16.
+	if math.Abs(res.Energy-16) > 1e-6 {
+		t.Errorf("energy = %v, want 16", res.Energy)
+	}
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Errorf("LP schedule infeasible: %v", err)
+	}
+}
+
+func TestAutoMaxSpeed(t *testing.T) {
+	in, _ := job.NewInstance(2, []job.Job{
+		{ID: 1, Release: 0, Deadline: 2, Work: 4},
+		{ID: 2, Release: 0, Deadline: 4, Work: 2},
+	})
+	res, err := Solve(in, power.MustAlpha(2), Options{SpeedLevels: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grid[len(res.Grid)-1] <= 0 {
+		t.Error("auto grid not positive")
+	}
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Errorf("schedule infeasible: %v", err)
+	}
+}
+
+// The LP value under a piecewise-linear power function with breakpoints on
+// the grid must equal the energy of the combinatorial optimum under the
+// same function: the combinatorial schedule is optimal for every convex
+// power function simultaneously, and the LP is exact for this class.
+func TestMatchesCombinatorialOnPiecewiseLinear(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		in, err := workload.Uniform(workload.Spec{N: 6, M: 2, Seed: seed, Horizon: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		optRes, err := opt.Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grid comfortably above every speed the optimum uses.
+		maxSpeed := 0.0
+		for _, ph := range optRes.Phases {
+			maxSpeed = math.Max(maxSpeed, ph.Speed)
+		}
+		k := 24
+		top := maxSpeed * 1.5
+		pl, err := power.SampleAlpha(2, top, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpRes, err := Solve(in, pl, Options{SpeedLevels: k, MaxSpeed: top})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := optRes.Schedule.Energy(pl)
+		if math.Abs(lpRes.Energy-want) > 1e-4*(1+want) {
+			t.Errorf("seed %d: LP=%v, combinatorial=%v under PL power", seed, lpRes.Energy, want)
+		}
+		if err := lpRes.Schedule.Verify(in); err != nil {
+			t.Errorf("seed %d: LP schedule infeasible: %v", seed, err)
+		}
+	}
+}
+
+// Under P(s)=s^alpha the LP upper-bounds the optimum and tightens as the
+// grid refines.
+func TestUpperBoundsAndConverges(t *testing.T) {
+	in, err := workload.Bursty(workload.Spec{N: 6, M: 2, Seed: 3, Horizon: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := power.MustAlpha(2)
+	optRes, err := opt.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := optRes.Schedule.Energy(p)
+	prev := math.Inf(1)
+	for _, k := range []int{4, 8, 16, 32} {
+		res, err := Solve(in, p, Options{SpeedLevels: k})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Energy < exact-1e-6*(1+exact) {
+			t.Errorf("k=%d: LP %v below exact optimum %v", k, res.Energy, exact)
+		}
+		if res.Energy > prev*(1+1e-6)+1e-9 {
+			t.Errorf("k=%d: LP %v above coarser value %v (not converging)", k, res.Energy, prev)
+		}
+		prev = res.Energy
+	}
+	if (prev-exact)/exact > 0.02 {
+		t.Errorf("k=32 LP still %.2f%% above optimum", 100*(prev-exact)/exact)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	in, _ := job.NewInstance(1, []job.Job{{ID: 1, Release: 0, Deadline: 1, Work: 1}})
+	if _, err := Solve(in, power.MustAlpha(2), Options{SpeedLevels: -2}); err == nil {
+		t.Error("negative SpeedLevels accepted")
+	}
+	if _, err := Solve(in, power.MustAlpha(2), Options{MaxSpeed: -1}); err == nil {
+		t.Error("negative MaxSpeed accepted")
+	}
+	// Too low a speed cap makes the LP infeasible; must be reported.
+	if _, err := Solve(in, power.MustAlpha(2), Options{SpeedLevels: 4, MaxSpeed: 0.1}); err == nil {
+		t.Error("infeasible grid accepted")
+	}
+}

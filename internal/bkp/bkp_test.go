@@ -1,0 +1,118 @@
+package bkp
+
+import (
+	"math"
+	"testing"
+
+	"mpss/internal/job"
+	"mpss/internal/power"
+	"mpss/internal/workload"
+	"mpss/internal/yds"
+)
+
+func TestBound(t *testing.T) {
+	// 2 * (2/1)^2 * e^2 = 8 e^2.
+	want := 8 * math.E * math.E
+	if got := Bound(2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Bound(2) = %v, want %v", got, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Schedule(nil, Options{}); err == nil {
+		t.Error("empty jobs accepted")
+	}
+	if _, err := Schedule([]job.Job{{ID: 1, Release: 2, Deadline: 1, Work: 1}}, Options{}); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+func TestSingleJobSpeed(t *testing.T) {
+	// One job (0, 1, w=1): at t=0 the only candidate t2=1 gives
+	// w(0, -(e-1), 1) = 1 so s(0) = e.
+	jobs := []job.Job{{ID: 1, Release: 0, Deadline: 1, Work: 1}}
+	if got := speedAt(jobs, 0); math.Abs(got-math.E) > 1e-9 {
+		t.Errorf("speedAt(0) = %v, want e", got)
+	}
+	sched, err := Schedule(jobs, Options{SlicesPerInterval: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := job.NewInstance(1, jobs)
+	if err := sched.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	// BKP runs the job at >= e, so it finishes early; energy must exceed
+	// the optimal density-1 schedule.
+	p := power.MustAlpha(2)
+	optE, _ := yds.Energy(jobs, p)
+	if e := sched.Energy(p); e <= optE {
+		t.Errorf("BKP energy %v not above optimal %v for the eager profile", e, optE)
+	}
+}
+
+func TestFeasibleAcrossWorkloads(t *testing.T) {
+	for _, gname := range []string{"uniform", "bursty", "tight"} {
+		gen, err := workload.ByName(gname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 4; seed++ {
+			in, err := gen.Make(workload.Spec{N: 10, M: 1, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := Schedule(in.Jobs, Options{})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", gname, seed, err)
+			}
+			if err := sched.Verify(in); err != nil {
+				t.Errorf("%s/%d: infeasible: %v", gname, seed, err)
+			}
+		}
+	}
+}
+
+func TestCompetitiveAgainstYDS(t *testing.T) {
+	for _, alpha := range []float64{2, 3} {
+		p := power.MustAlpha(alpha)
+		bound := Bound(alpha)
+		for seed := int64(0); seed < 5; seed++ {
+			in, err := workload.Uniform(workload.Spec{N: 10, M: 1, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := Schedule(in.Jobs, Options{SlicesPerInterval: 24})
+			if err != nil {
+				t.Fatal(err)
+			}
+			optE, err := yds.Energy(in.Jobs, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := sched.Energy(p) / optE
+			if ratio < 1-1e-9 {
+				t.Errorf("alpha=%v seed=%d: ratio %v below 1", alpha, seed, ratio)
+			}
+			if ratio > bound {
+				t.Errorf("alpha=%v seed=%d: ratio %v exceeds proven bound %v", alpha, seed, ratio, bound)
+			}
+		}
+	}
+}
+
+func TestFinerSlicesDoNotBreakFeasibility(t *testing.T) {
+	in, err := workload.Bursty(workload.Spec{N: 8, M: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slices := range []int{4, 16, 64} {
+		sched, err := Schedule(in.Jobs, Options{SlicesPerInterval: slices})
+		if err != nil {
+			t.Fatalf("slices=%d: %v", slices, err)
+		}
+		if err := sched.Verify(in); err != nil {
+			t.Errorf("slices=%d: %v", slices, err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package convexopt
+
+import (
+	"math"
+	"testing"
+
+	"mpss/internal/job"
+	"mpss/internal/opt"
+	"mpss/internal/power"
+	"mpss/internal/workload"
+)
+
+func TestSingleJobClosedForm(t *testing.T) {
+	in, _ := job.NewInstance(1, []job.Job{{ID: 1, Release: 0, Deadline: 4, Work: 8}})
+	res, err := Bound(in, 2, 200, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: speed 2 for 4 time units -> energy 16.
+	if math.Abs(res.Upper-16) > 1e-3 {
+		t.Errorf("Upper = %v, want 16", res.Upper)
+	}
+	if res.Lower > res.Upper+1e-9 {
+		t.Errorf("Lower %v exceeds Upper %v", res.Lower, res.Upper)
+	}
+}
+
+func TestThreeJobsTwoProcs(t *testing.T) {
+	// Known optimum 54 (three equal jobs sharing two processors).
+	jobs := []job.Job{
+		{ID: 1, Release: 0, Deadline: 3, Work: 6},
+		{ID: 2, Release: 0, Deadline: 3, Work: 6},
+		{ID: 3, Release: 0, Deadline: 3, Work: 6},
+	}
+	in, _ := job.NewInstance(2, jobs)
+	res, err := Bound(in, 2, 200, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Upper-54) > 0.05 {
+		t.Errorf("Upper = %v, want 54", res.Upper)
+	}
+}
+
+// The central E1 check: the combinatorial optimum's energy must sit within
+// the Frank–Wolfe bracket on random instances, for several alphas and
+// machine counts.
+func TestCombinatorialOptimumWithinBracket(t *testing.T) {
+	for _, alpha := range []float64{1.5, 2, 3} {
+		for _, m := range []int{1, 2, 3} {
+			for seed := int64(0); seed < 4; seed++ {
+				in, err := workload.Uniform(workload.Spec{N: 8, M: m, Seed: seed, Horizon: 30})
+				if err != nil {
+					t.Fatal(err)
+				}
+				optRes, err := opt.Schedule(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e := optRes.Schedule.Energy(power.MustAlpha(alpha))
+				cvx, err := Bound(in, alpha, 400, 1e-5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Feasible schedule cannot beat the relaxation's true
+				// optimum, so it cannot be measurably below Lower.
+				if e < cvx.Lower-0.01*(1+e) {
+					t.Errorf("alpha=%v m=%d seed=%d: opt %v below certificate %v",
+						alpha, m, seed, e, cvx.Lower)
+				}
+				// And optimality: the relaxation cannot find anything
+				// much cheaper than the claimed optimum.
+				if cvx.Upper < e-0.005*(1+e) {
+					t.Errorf("alpha=%v m=%d seed=%d: FW found %v < claimed optimum %v",
+						alpha, m, seed, cvx.Upper, e)
+				}
+				// The two should in fact nearly coincide.
+				if rel := math.Abs(cvx.Upper-e) / (1 + e); rel > 0.02 {
+					t.Errorf("alpha=%v m=%d seed=%d: FW %v vs opt %v (rel %.3f)",
+						alpha, m, seed, cvx.Upper, e, rel)
+				}
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	in, _ := job.NewInstance(1, []job.Job{{ID: 1, Release: 0, Deadline: 1, Work: 1}})
+	if _, err := Bound(in, 1, 10, 1e-3); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+	if _, err := Bound(in, 2, 0, 1e-3); err == nil {
+		t.Error("maxIters=0 accepted")
+	}
+}
+
+func TestGapShrinks(t *testing.T) {
+	in, err := workload.Bursty(workload.Spec{N: 8, M: 2, Seed: 1, Horizon: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Bound(in, 2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Bound(in, 2, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Upper > short.Upper+1e-9 {
+		t.Errorf("more iterations worsened Upper: %v -> %v", short.Upper, long.Upper)
+	}
+	if long.Gap > short.Gap+1e-9 {
+		t.Errorf("more iterations worsened Gap: %v -> %v", short.Gap, long.Gap)
+	}
+}

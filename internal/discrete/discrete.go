@@ -1,0 +1,132 @@
+// Package discrete solves the variant of the scheduling problem where
+// processors offer only a finite menu of speed levels, the setting of
+// the related work the paper cites ([12,13] for a single processor).
+//
+// The classic reduction carries over to m processors with migration: take
+// the continuous optimum (internal/opt) — whose structure is independent
+// of the power function — and replace every execution at a non-menu speed
+// s by a time-preserving mix of the two adjacent menu speeds
+// s_lo <= s <= s_hi:
+//
+//	t_lo + t_hi = t,   s_lo t_lo + s_hi t_hi = s t.
+//
+// Total execution time is unchanged, so the packing (and hence
+// feasibility) is untouched, and the resulting energy equals the
+// continuous optimum priced under the piecewise-linear interpolation of P
+// at the menu speeds — which is exactly the discrete-speed optimum (the
+// LP of internal/bg over the same grid computes the same value, and the
+// test suite checks the two agree).
+package discrete
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mpss/internal/job"
+	"mpss/internal/opt"
+	"mpss/internal/power"
+	"mpss/internal/schedule"
+)
+
+// Result is a discrete-speed schedule with its energy under the supplied
+// power function.
+type Result struct {
+	Schedule *schedule.Schedule
+	Energy   float64
+	Levels   []float64 // the sorted speed menu actually used
+	// Splits counts continuous-speed segments that had to be expressed as
+	// a two-level mix.
+	Splits int
+}
+
+// Schedule computes an optimal schedule restricted to the given speed
+// menu. The menu must be positive and its maximum must reach the highest
+// speed of the continuous optimum, otherwise the instance is infeasible
+// at these levels and an error is returned.
+func Schedule(in *job.Instance, p power.Function, levels []float64) (*Result, error) {
+	if len(levels) == 0 {
+		return nil, errors.New("discrete: empty speed menu")
+	}
+	menu := append([]float64(nil), levels...)
+	sort.Float64s(menu)
+	for i, s := range menu {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("discrete: invalid speed level %v", s)
+		}
+		if i > 0 && s == menu[i-1] {
+			return nil, fmt.Errorf("discrete: duplicate speed level %v", s)
+		}
+	}
+
+	cont, err := opt.Schedule(in)
+	if err != nil {
+		return nil, err
+	}
+	top := cont.Phases[0].Speed
+	if menu[len(menu)-1] < top*(1-1e-9) {
+		return nil, fmt.Errorf("discrete: menu tops out at %v but the instance needs peak speed %v",
+			menu[len(menu)-1], top)
+	}
+
+	out := schedule.New(in.M)
+	res := &Result{Levels: menu}
+	const eps = 1e-12
+	for _, seg := range cont.Schedule.Segments {
+		s := seg.Speed
+		i := sort.SearchFloat64s(menu, s)
+		onMenu := (i < len(menu) && math.Abs(menu[i]-s) <= 1e-9*(1+s)) ||
+			(i > 0 && math.Abs(menu[i-1]-s) <= 1e-9*(1+s))
+		if onMenu {
+			level := menu[min(i, len(menu)-1)]
+			if i > 0 && math.Abs(menu[i-1]-s) <= 1e-9*(1+s) {
+				level = menu[i-1]
+			}
+			out.Add(schedule.Segment{Proc: seg.Proc, Start: seg.Start, End: seg.End, JobID: seg.JobID, Speed: level})
+			continue
+		}
+		if i == 0 {
+			// Below the lowest level: run entirely at the lowest level for
+			// the work-preserving shorter time, idling the rest.
+			lo := menu[0]
+			dur := seg.Work() / lo
+			out.Add(schedule.Segment{Proc: seg.Proc, Start: seg.Start, End: seg.Start + dur, JobID: seg.JobID, Speed: lo})
+			continue
+		}
+		sLo, sHi := menu[i-1], menu[i]
+		t := seg.Len()
+		tHi := t * (s - sLo) / (sHi - sLo)
+		tLo := t - tHi
+		res.Splits++
+		if tLo > eps {
+			out.Add(schedule.Segment{Proc: seg.Proc, Start: seg.Start, End: seg.Start + tLo, JobID: seg.JobID, Speed: sLo})
+		}
+		if tHi > eps {
+			out.Add(schedule.Segment{Proc: seg.Proc, Start: seg.Start + tLo, End: seg.End, JobID: seg.JobID, Speed: sHi})
+		}
+	}
+	out.Normalize()
+	res.Schedule = out
+	res.Energy = out.Energy(p)
+	return res, nil
+}
+
+// UniformMenu builds k evenly spaced levels on (0, max].
+func UniformMenu(max float64, k int) ([]float64, error) {
+	if k < 1 || max <= 0 {
+		return nil, fmt.Errorf("discrete: invalid menu max=%v k=%d", max, k)
+	}
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = max * float64(i+1) / float64(k)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+package discrete
+
+import (
+	"math"
+	"testing"
+
+	"mpss/internal/bg"
+	"mpss/internal/job"
+	"mpss/internal/opt"
+	"mpss/internal/power"
+	"mpss/internal/workload"
+)
+
+func TestMenuValidation(t *testing.T) {
+	in, _ := job.NewInstance(1, []job.Job{{ID: 1, Release: 0, Deadline: 2, Work: 4}})
+	p := power.MustAlpha(2)
+	if _, err := Schedule(in, p, nil); err == nil {
+		t.Error("empty menu accepted")
+	}
+	if _, err := Schedule(in, p, []float64{1, 1}); err == nil {
+		t.Error("duplicate levels accepted")
+	}
+	if _, err := Schedule(in, p, []float64{-1, 2}); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := Schedule(in, p, []float64{0.5, 1}); err == nil {
+		t.Error("menu below peak speed accepted")
+	}
+}
+
+func TestExactSpeedOnMenu(t *testing.T) {
+	// Single job at density 2 with 2 on the menu: no splits, same energy
+	// as continuous.
+	in, _ := job.NewInstance(1, []job.Job{{ID: 1, Release: 0, Deadline: 2, Work: 4}})
+	p := power.MustAlpha(2)
+	res, err := Schedule(in, p, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Splits != 0 {
+		t.Errorf("splits = %d, want 0", res.Splits)
+	}
+	if math.Abs(res.Energy-8) > 1e-9 {
+		t.Errorf("energy = %v, want 8", res.Energy)
+	}
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoLevelMix(t *testing.T) {
+	// Density 1.5 with menu {1,2}: mix half/half; energy = t_lo*1 + t_hi*4
+	// with t_lo = t_hi = 1 on a 2-length window = 5 (continuous would be
+	// 1.5^2*2 = 4.5).
+	in, _ := job.NewInstance(1, []job.Job{{ID: 1, Release: 0, Deadline: 2, Work: 3}})
+	p := power.MustAlpha(2)
+	res, err := Schedule(in, p, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Splits != 1 {
+		t.Errorf("splits = %d, want 1", res.Splits)
+	}
+	if math.Abs(res.Energy-5) > 1e-9 {
+		t.Errorf("energy = %v, want 5", res.Energy)
+	}
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range res.Schedule.Segments {
+		if seg.Speed != 1 && seg.Speed != 2 {
+			t.Errorf("off-menu speed %v", seg.Speed)
+		}
+	}
+}
+
+func TestBelowLowestLevelIdles(t *testing.T) {
+	// Density 0.5 with menu {1,2}: run at 1 for half the window.
+	in, _ := job.NewInstance(1, []job.Job{{ID: 1, Release: 0, Deadline: 4, Work: 2}})
+	p := power.MustAlpha(3)
+	res, err := Schedule(in, p, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	// Energy 1^3 * 2 = 2.
+	if math.Abs(res.Energy-2) > 1e-9 {
+		t.Errorf("energy = %v, want 2", res.Energy)
+	}
+}
+
+// The reduction must agree with the LP of internal/bg on the same grid —
+// two very different routes to the discrete-speed optimum.
+func TestMatchesLPOnSameGrid(t *testing.T) {
+	p := power.MustAlpha(2)
+	for seed := int64(0); seed < 5; seed++ {
+		in, err := workload.Uniform(workload.Spec{N: 6, M: 2, Seed: seed, Horizon: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cont, err := opt.Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := cont.Phases[0].Speed * 1.3
+		const k = 16
+		menu, err := UniformMenu(top, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Schedule(in, p, menu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Schedule.Verify(in); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		lpRes, err := bg.Solve(in, p, bg.Options{SpeedLevels: k, MaxSpeed: top})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Energy-lpRes.Energy) > 1e-4*(1+lpRes.Energy) {
+			t.Errorf("seed %d: reduction %v vs LP %v", seed, res.Energy, lpRes.Energy)
+		}
+		// Discrete can never beat continuous.
+		contE := cont.Schedule.Energy(p)
+		if res.Energy < contE-1e-9*(1+contE) {
+			t.Errorf("seed %d: discrete %v below continuous %v", seed, res.Energy, contE)
+		}
+	}
+}
+
+// Refining the menu converges to the continuous optimum from above.
+func TestMenuRefinementConverges(t *testing.T) {
+	in, err := workload.Bursty(workload.Spec{N: 8, M: 2, Seed: 2, Horizon: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := power.MustAlpha(2)
+	cont, err := opt.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contE := cont.Schedule.Energy(p)
+	top := cont.Phases[0].Speed * 1.2
+	prev := math.Inf(1)
+	for _, k := range []int{2, 4, 8, 32, 128} {
+		menu, err := UniformMenu(top, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Schedule(in, p, menu)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Energy > prev*(1+1e-9) {
+			t.Errorf("k=%d: energy %v above coarser %v", k, res.Energy, prev)
+		}
+		prev = res.Energy
+	}
+	if rel := (prev - contE) / contE; rel > 0.001 {
+		t.Errorf("k=128 still %.4f%% above continuous", 100*rel)
+	}
+}
+
+func TestUniformMenuValidation(t *testing.T) {
+	if _, err := UniformMenu(0, 4); err == nil {
+		t.Error("max=0 accepted")
+	}
+	if _, err := UniformMenu(1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	menu, err := UniformMenu(2, 4)
+	if err != nil || len(menu) != 4 || menu[3] != 2 || menu[0] != 0.5 {
+		t.Errorf("UniformMenu = %v, %v", menu, err)
+	}
+}

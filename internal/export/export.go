@@ -1,0 +1,109 @@
+// Package export serializes experiment results and schedules to CSV and
+// JSON for downstream analysis (spreadsheets, plotting scripts). It works
+// on any homogeneous slice of flat structs via reflection, so every
+// experiment row type of internal/bench exports without per-type code.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+)
+
+// CSV writes a slice of flat structs as CSV: one header row of field
+// names, then one row per element. Supported field kinds: bool, ints,
+// floats, strings. Nested or slice-valued fields are rejected.
+func CSV(w io.Writer, rows interface{}) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("export: want a slice, got %T", rows)
+	}
+	if v.Len() == 0 {
+		return errors.New("export: empty slice")
+	}
+	elemT := v.Type().Elem()
+	if elemT.Kind() == reflect.Ptr {
+		elemT = elemT.Elem()
+	}
+	if elemT.Kind() != reflect.Struct {
+		return fmt.Errorf("export: want a slice of structs, got %s", elemT)
+	}
+
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, elemT.NumField())
+	for i := 0; i < elemT.NumField(); i++ {
+		f := elemT.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		if err := checkKind(f.Type.Kind()); err != nil {
+			return fmt.Errorf("export: field %s: %w", f.Name, err)
+		}
+		header = append(header, f.Name)
+	}
+	if len(header) == 0 {
+		return errors.New("export: no exported fields")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+
+	for r := 0; r < v.Len(); r++ {
+		ev := v.Index(r)
+		if ev.Kind() == reflect.Ptr {
+			ev = ev.Elem()
+		}
+		rec := make([]string, 0, len(header))
+		for i := 0; i < elemT.NumField(); i++ {
+			if !elemT.Field(i).IsExported() {
+				continue
+			}
+			rec = append(rec, format(ev.Field(i)))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func checkKind(k reflect.Kind) error {
+	switch k {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64, reflect.String:
+		return nil
+	default:
+		return fmt.Errorf("unsupported kind %s", k)
+	}
+}
+
+func format(v reflect.Value) string {
+	switch v.Kind() {
+	case reflect.Bool:
+		return strconv.FormatBool(v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return strconv.FormatInt(v.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return strconv.FormatUint(v.Uint(), 10)
+	case reflect.Float32, reflect.Float64:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case reflect.String:
+		return v.String()
+	default:
+		return fmt.Sprintf("%v", v.Interface())
+	}
+}
+
+// JSON writes rows as indented JSON.
+func JSON(w io.Writer, rows interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -1,0 +1,77 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+type row struct {
+	Name   string
+	N      int
+	Ratio  float64
+	OK     bool
+	hidden int // unexported: skipped
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []row{
+		{Name: "a", N: 1, Ratio: 1.5, OK: true, hidden: 9},
+		{Name: "b", N: 2, Ratio: 0.25, OK: false},
+	}
+	if err := CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "Name,N,Ratio,OK" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "a,1,1.5,true" || lines[2] != "b,2,0.25,false" {
+		t.Errorf("rows = %q, %q", lines[1], lines[2])
+	}
+}
+
+func TestCSVPointers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSV(&buf, []*row{{Name: "x", N: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x,3") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSV(&buf, 42); err == nil {
+		t.Error("non-slice accepted")
+	}
+	if err := CSV(&buf, []row{}); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if err := CSV(&buf, []int{1}); err == nil {
+		t.Error("slice of non-structs accepted")
+	}
+	type nested struct{ Inner []int }
+	if err := CSV(&buf, []nested{{}}); err == nil {
+		t.Error("slice-valued field accepted")
+	}
+	type private struct{ x int }
+	if err := CSV(&buf, []private{{x: 1}}); err == nil {
+		t.Error("struct with no exported fields accepted")
+	}
+}
+
+func TestJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := JSON(&buf, []row{{Name: "j", N: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"Name": "j"`) {
+		t.Errorf("output = %q", buf.String())
+	}
+}

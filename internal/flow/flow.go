@@ -1,0 +1,206 @@
+// Package flow provides the maximum-flow substrate used by the
+// combinatorial offline speed-scaling algorithm (Section 2 of the paper).
+//
+// Two solvers are provided:
+//
+//   - Graph: Dinic's algorithm over float64 capacities with a configurable
+//     tolerance for residual-capacity comparisons. This is the fast path.
+//   - RatGraph (rational.go): the same algorithm over exact math/big.Rat
+//     arithmetic, used to re-verify phase decisions on rational inputs.
+//
+// Dinic's algorithm runs in O(V^2 E) in general and is far faster on the
+// shallow 4-layer networks G(J, m, s) built by the scheduler.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultTolerance is the residual-capacity threshold below which an edge
+// is considered saturated by the float64 solver, relative to the largest
+// capacity in the graph.
+const DefaultTolerance = 1e-12
+
+type edge struct {
+	to   int
+	cap  float64 // remaining (residual) capacity
+	orig float64 // original capacity (0 for reverse edges)
+	rev  int     // index of the reverse edge in adj[to]
+}
+
+// Graph is a flow network over float64 capacities. The zero value is not
+// usable; construct with NewGraph.
+type Graph struct {
+	adj    [][]edge
+	maxCap float64
+	tol    float64 // absolute tolerance; derived lazily from maxCap
+}
+
+// NewGraph returns an empty flow network with n vertices numbered 0..n-1.
+func NewGraph(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("flow: graph needs >= 2 vertices, got %d", n))
+	}
+	return &Graph{adj: make([][]edge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// SetTolerance overrides the absolute saturation tolerance. A zero value
+// restores the default (DefaultTolerance times the largest capacity).
+func (g *Graph) SetTolerance(tol float64) { g.tol = tol }
+
+func (g *Graph) tolerance() float64 {
+	if g.tol > 0 {
+		return g.tol
+	}
+	return DefaultTolerance * math.Max(1, g.maxCap)
+}
+
+// EdgeID identifies an edge added by AddEdge, for later flow queries.
+type EdgeID struct {
+	from, idx int
+}
+
+// AddEdge adds a directed edge from -> to with the given capacity and
+// returns its identifier. Capacities must be finite and non-negative.
+func (g *Graph) AddEdge(from, to int, capacity float64) EdgeID {
+	if from < 0 || from >= len(g.adj) || to < 0 || to >= len(g.adj) {
+		panic(fmt.Sprintf("flow: edge %d->%d out of range [0,%d)", from, to, len(g.adj)))
+	}
+	if from == to {
+		panic("flow: self-loop")
+	}
+	if math.IsNaN(capacity) || math.IsInf(capacity, 0) || capacity < 0 {
+		panic(fmt.Sprintf("flow: invalid capacity %v", capacity))
+	}
+	g.maxCap = math.Max(g.maxCap, capacity)
+	g.adj[from] = append(g.adj[from], edge{to: to, cap: capacity, orig: capacity, rev: len(g.adj[to])})
+	g.adj[to] = append(g.adj[to], edge{to: from, cap: 0, orig: 0, rev: len(g.adj[from]) - 1})
+	return EdgeID{from: from, idx: len(g.adj[from]) - 1}
+}
+
+// Flow returns the amount of flow currently routed along the edge.
+func (g *Graph) Flow(id EdgeID) float64 {
+	e := g.adj[id.from][id.idx]
+	return e.orig - e.cap
+}
+
+// Capacity returns the original capacity of the edge.
+func (g *Graph) Capacity(id EdgeID) float64 {
+	return g.adj[id.from][id.idx].orig
+}
+
+// Saturated reports whether the edge carries (numerically) its full
+// capacity.
+func (g *Graph) Saturated(id EdgeID) bool {
+	return g.adj[id.from][id.idx].cap <= g.tolerance()
+}
+
+// MaxFlow computes a maximum s-t flow with Dinic's algorithm and returns
+// its value. It may be called once per graph; subsequent calls continue
+// from the existing flow (and therefore return 0 once maximal).
+func (g *Graph) MaxFlow(s, t int) float64 {
+	if s == t {
+		panic("flow: source equals sink")
+	}
+	tol := g.tolerance()
+	n := len(g.adj)
+	level := make([]int, n)
+	iter := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range g.adj[v] {
+				if e.cap > tol && level[e.to] < 0 {
+					level[e.to] = level[v] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(v int, f float64) float64
+	dfs = func(v int, f float64) float64 {
+		if v == t {
+			return f
+		}
+		for ; iter[v] < len(g.adj[v]); iter[v]++ {
+			e := &g.adj[v][iter[v]]
+			if e.cap > tol && level[v] < level[e.to] {
+				d := dfs(e.to, math.Min(f, e.cap))
+				if d > 0 {
+					e.cap -= d
+					g.adj[e.to][e.rev].cap += d
+					return d
+				}
+			}
+		}
+		return 0
+	}
+
+	var total float64
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, math.Inf(1))
+			if f <= 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// OutFlow returns the total flow leaving vertex v on forward edges.
+func (g *Graph) OutFlow(v int) float64 {
+	var f float64
+	for _, e := range g.adj[v] {
+		if e.orig > 0 {
+			f += e.orig - e.cap
+		}
+	}
+	return f
+}
+
+// CheckConservation verifies flow conservation at every vertex except s
+// and t, within the graph tolerance scaled by the vertex degree. It
+// returns the first violation found.
+func (g *Graph) CheckConservation(s, t int) error {
+	tol := g.tolerance()
+	for v := range g.adj {
+		if v == s || v == t {
+			continue
+		}
+		var net float64
+		deg := 0
+		for _, e := range g.adj[v] {
+			if e.orig > 0 { // forward edge leaving v
+				net -= e.orig - e.cap
+				deg++
+			} else { // reverse edge: its flow equals inflow into v
+				net += e.cap
+				deg++
+			}
+		}
+		if math.Abs(net) > tol*float64(deg+1)*10 {
+			return fmt.Errorf("flow: conservation violated at vertex %d by %v", v, net)
+		}
+	}
+	return nil
+}

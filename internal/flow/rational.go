@@ -1,0 +1,144 @@
+package flow
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// RatGraph is a flow network over exact rational capacities. It mirrors
+// Graph but performs all arithmetic in math/big.Rat, so saturation tests
+// are exact. It is used to cross-check the float64 solver and to run the
+// offline optimum in exact mode on rational inputs.
+type RatGraph struct {
+	adj [][]ratEdge
+}
+
+type ratEdge struct {
+	to   int
+	cap  *big.Rat // residual capacity
+	orig *big.Rat // original capacity (zero for reverse edges)
+	rev  int
+}
+
+// NewRatGraph returns an empty exact flow network with n vertices.
+func NewRatGraph(n int) *RatGraph {
+	if n < 2 {
+		panic(fmt.Sprintf("flow: graph needs >= 2 vertices, got %d", n))
+	}
+	return &RatGraph{adj: make([][]ratEdge, n)}
+}
+
+// N returns the number of vertices.
+func (g *RatGraph) N() int { return len(g.adj) }
+
+// AddEdge adds a directed edge with the given non-negative capacity. The
+// capacity is copied.
+func (g *RatGraph) AddEdge(from, to int, capacity *big.Rat) EdgeID {
+	if from < 0 || from >= len(g.adj) || to < 0 || to >= len(g.adj) {
+		panic(fmt.Sprintf("flow: edge %d->%d out of range", from, to))
+	}
+	if from == to {
+		panic("flow: self-loop")
+	}
+	if capacity.Sign() < 0 {
+		panic(fmt.Sprintf("flow: negative capacity %v", capacity))
+	}
+	c := new(big.Rat).Set(capacity)
+	g.adj[from] = append(g.adj[from], ratEdge{to: to, cap: c, orig: new(big.Rat).Set(capacity), rev: len(g.adj[to])})
+	g.adj[to] = append(g.adj[to], ratEdge{to: from, cap: new(big.Rat), orig: new(big.Rat), rev: len(g.adj[from]) - 1})
+	return EdgeID{from: from, idx: len(g.adj[from]) - 1}
+}
+
+// Flow returns the exact flow on the edge.
+func (g *RatGraph) Flow(id EdgeID) *big.Rat {
+	e := g.adj[id.from][id.idx]
+	return new(big.Rat).Sub(e.orig, e.cap)
+}
+
+// Capacity returns the exact original capacity of the edge.
+func (g *RatGraph) Capacity(id EdgeID) *big.Rat {
+	return new(big.Rat).Set(g.adj[id.from][id.idx].orig)
+}
+
+// Saturated reports whether the edge carries exactly its capacity.
+func (g *RatGraph) Saturated(id EdgeID) bool {
+	return g.adj[id.from][id.idx].cap.Sign() == 0
+}
+
+// MaxFlow computes an exact maximum s-t flow with Dinic's algorithm.
+func (g *RatGraph) MaxFlow(s, t int) *big.Rat {
+	if s == t {
+		panic("flow: source equals sink")
+	}
+	n := len(g.adj)
+	level := make([]int, n)
+	iter := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range g.adj[v] {
+				if e.cap.Sign() > 0 && level[e.to] < 0 {
+					level[e.to] = level[v] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	// f == nil means "unbounded" (at the source).
+	var dfs func(v int, f *big.Rat) *big.Rat
+	dfs = func(v int, f *big.Rat) *big.Rat {
+		if v == t {
+			return new(big.Rat).Set(f)
+		}
+		for ; iter[v] < len(g.adj[v]); iter[v]++ {
+			e := &g.adj[v][iter[v]]
+			if e.cap.Sign() > 0 && level[v] < level[e.to] {
+				push := e.cap
+				if f != nil && f.Cmp(e.cap) < 0 {
+					push = f
+				}
+				d := dfs(e.to, push)
+				if d != nil && d.Sign() > 0 {
+					e.cap.Sub(e.cap, d)
+					g.adj[e.to][e.rev].cap.Add(g.adj[e.to][e.rev].cap, d)
+					return d
+				}
+			}
+		}
+		return nil
+	}
+
+	total := new(big.Rat)
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			// Start with the total outgoing capacity of s as the bound.
+			bound := new(big.Rat)
+			for _, e := range g.adj[s] {
+				bound.Add(bound, e.cap)
+			}
+			if bound.Sign() == 0 {
+				break
+			}
+			d := dfs(s, bound)
+			if d == nil || d.Sign() == 0 {
+				break
+			}
+			total.Add(total, d)
+		}
+	}
+	return total
+}

@@ -1,0 +1,251 @@
+package job
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJobValidate(t *testing.T) {
+	good := Job{ID: 1, Release: 0, Deadline: 2, Work: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid job rejected: %v", err)
+	}
+	bad := []Job{
+		{ID: 1, Release: 2, Deadline: 2, Work: 1},           // empty window
+		{ID: 1, Release: 3, Deadline: 2, Work: 1},           // inverted window
+		{ID: 1, Release: 0, Deadline: 1, Work: 0},           // zero work
+		{ID: 1, Release: 0, Deadline: 1, Work: -1},          // negative work
+		{ID: 1, Release: math.NaN(), Deadline: 1, Work: 1},  // NaN
+		{ID: 1, Release: 0, Deadline: math.Inf(1), Work: 1}, // infinite
+	}
+	for _, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("invalid job accepted: %+v", j)
+		}
+	}
+}
+
+func TestDensityAndSpan(t *testing.T) {
+	j := Job{ID: 1, Release: 1, Deadline: 5, Work: 8}
+	if got := j.Density(); got != 2 {
+		t.Errorf("Density = %v, want 2", got)
+	}
+	if got := j.Span(); got != 4 {
+		t.Errorf("Span = %v, want 4", got)
+	}
+}
+
+func TestActive(t *testing.T) {
+	j := Job{ID: 1, Release: 1, Deadline: 5, Work: 8}
+	if !j.ActiveIn(1, 5) || !j.ActiveIn(2, 3) {
+		t.Error("ActiveIn false inside window")
+	}
+	if j.ActiveIn(0, 2) || j.ActiveIn(4, 6) {
+		t.Error("ActiveIn true outside window")
+	}
+	if !j.ActiveAt(1) || j.ActiveAt(5) || j.ActiveAt(0.5) {
+		t.Error("ActiveAt boundary handling wrong")
+	}
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	jobs := []Job{{ID: 1, Release: 0, Deadline: 1, Work: 1}}
+	if _, err := NewInstance(0, jobs); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewInstance(1, nil); err == nil {
+		t.Error("empty instance accepted")
+	}
+	dup := []Job{
+		{ID: 1, Release: 0, Deadline: 1, Work: 1},
+		{ID: 1, Release: 0, Deadline: 2, Work: 1},
+	}
+	if _, err := NewInstance(1, dup); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := NewInstance(2, jobs); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+}
+
+func TestInstanceAccessors(t *testing.T) {
+	in, err := NewInstance(2, []Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 2},
+		{ID: 7, Release: 1, Deadline: 6, Work: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 2 {
+		t.Errorf("N = %d", in.N())
+	}
+	if got := in.TotalWork(); got != 5 {
+		t.Errorf("TotalWork = %v", got)
+	}
+	s, e := in.Horizon()
+	if s != 0 || e != 6 {
+		t.Errorf("Horizon = %v,%v", s, e)
+	}
+	if j, ok := in.ByID(7); !ok || j.Work != 3 {
+		t.Errorf("ByID(7) = %v,%v", j, ok)
+	}
+	if _, ok := in.ByID(99); ok {
+		t.Error("ByID(99) found a job")
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in, _ := NewInstance(3, []Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 2},
+		{ID: 2, Release: 1, Deadline: 6, Work: 3},
+	})
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.M != 3 || back.N() != 2 || back.Jobs[1].Work != 3 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	// Unmarshal must validate.
+	if err := json.Unmarshal([]byte(`{"m":0,"jobs":[]}`), &back); err == nil {
+		t.Error("invalid JSON instance accepted")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 1},
+		{ID: 2, Release: 2, Deadline: 6, Work: 1},
+		{ID: 3, Release: 2, Deadline: 4, Work: 1}, // coincident events
+	}
+	ivs := Partition(jobs)
+	want := []Interval{{0, 2}, {2, 4}, {4, 6}}
+	if len(ivs) != len(want) {
+		t.Fatalf("Partition = %v, want %v", ivs, want)
+	}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Errorf("interval %d = %v, want %v", i, ivs[i], want[i])
+		}
+	}
+	if Partition(nil) != nil {
+		t.Error("Partition(nil) != nil")
+	}
+}
+
+func TestPartitionFrom(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 1},
+		{ID: 2, Release: 2, Deadline: 6, Work: 1},
+	}
+	ivs := PartitionFrom(jobs, 3)
+	want := []Interval{{3, 4}, {4, 6}}
+	if len(ivs) != len(want) {
+		t.Fatalf("PartitionFrom = %v, want %v", ivs, want)
+	}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Errorf("interval %d = %v, want %v", i, ivs[i], want[i])
+		}
+	}
+}
+
+func TestActiveJobsAndCounts(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 1},
+		{ID: 2, Release: 2, Deadline: 6, Work: 1},
+	}
+	ivs := Partition(jobs)
+	if got := ActiveJobs(jobs, ivs[0]); len(got) != 1 || got[0] != 0 {
+		t.Errorf("ActiveJobs(I0) = %v", got)
+	}
+	if got := ActiveJobs(jobs, ivs[1]); len(got) != 2 {
+		t.Errorf("ActiveJobs(I1) = %v", got)
+	}
+	counts := ActiveCount(jobs, ivs)
+	if counts[0] != 1 || counts[1] != 2 || counts[2] != 1 {
+		t.Errorf("ActiveCount = %v", counts)
+	}
+}
+
+func TestTotalDensity(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 4}, // density 1
+		{ID: 2, Release: 2, Deadline: 6, Work: 8}, // density 2
+	}
+	if got := TotalDensity(jobs, 1); got != 1 {
+		t.Errorf("TotalDensity(1) = %v", got)
+	}
+	if got := TotalDensity(jobs, 3); got != 3 {
+		t.Errorf("TotalDensity(3) = %v", got)
+	}
+	if got := TotalDensity(jobs, 5); got != 2 {
+		t.Errorf("TotalDensity(5) = %v", got)
+	}
+}
+
+func TestSortByDeadline(t *testing.T) {
+	jobs := []Job{
+		{ID: 3, Release: 0, Deadline: 5, Work: 1},
+		{ID: 1, Release: 0, Deadline: 2, Work: 1},
+		{ID: 2, Release: 1, Deadline: 2, Work: 1},
+	}
+	sorted := SortByDeadline(jobs)
+	if sorted[0].ID != 1 || sorted[1].ID != 2 || sorted[2].ID != 3 {
+		t.Errorf("SortByDeadline order: %v", sorted)
+	}
+	// Original untouched.
+	if jobs[0].ID != 3 {
+		t.Error("SortByDeadline mutated input")
+	}
+}
+
+// Property: the partition covers exactly [min release, max deadline) with
+// contiguous, non-empty intervals, and no event falls strictly inside an
+// interval.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(rawN%20)
+		jobs := make([]Job, n)
+		for i := range jobs {
+			r := rng.Float64() * 10
+			d := r + 0.1 + rng.Float64()*10
+			jobs[i] = Job{ID: i, Release: r, Deadline: d, Work: 1}
+		}
+		ivs := Partition(jobs)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, j := range jobs {
+			lo = math.Min(lo, j.Release)
+			hi = math.Max(hi, j.Deadline)
+		}
+		if ivs[0].Start != lo || ivs[len(ivs)-1].End != hi {
+			return false
+		}
+		for i, iv := range ivs {
+			if iv.Len() <= 0 {
+				return false
+			}
+			if i > 0 && ivs[i-1].End != iv.Start {
+				return false
+			}
+			for _, j := range jobs {
+				if (j.Release > iv.Start && j.Release < iv.End) ||
+					(j.Deadline > iv.Start && j.Deadline < iv.End) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,302 @@
+// Package lp is a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize   c.x
+//	subject to A x {<=,=,>=} b,  x >= 0.
+//
+// It exists as the substrate for the Bingham–Greenstreet-style LP baseline
+// (internal/bg) that the paper's combinatorial algorithm replaces, and is
+// deliberately a straightforward textbook implementation: Bland's rule for
+// anti-cycling, explicit artificial variables in phase one, and a dense
+// tableau. It is exact enough for the moderate instances of the test and
+// benchmark suites, not a general-purpose production LP code.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the constraint sense.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // <=
+	EQ                 // ==
+	GE                 // >=
+)
+
+// Constraint is one row: Coef . x  Rel  RHS.
+type Constraint struct {
+	Coef []float64
+	Rel  Relation
+	RHS  float64
+}
+
+// Problem is a minimization LP over non-negative variables.
+type Problem struct {
+	Obj  []float64 // length = number of variables
+	Rows []Constraint
+}
+
+// AddRow appends a constraint, padding or validating its width.
+func (p *Problem) AddRow(coef []float64, rel Relation, rhs float64) error {
+	if len(coef) != len(p.Obj) {
+		return fmt.Errorf("lp: row has %d coefficients, want %d", len(coef), len(p.Obj))
+	}
+	p.Rows = append(p.Rows, Constraint{Coef: append([]float64(nil), coef...), Rel: rel, RHS: rhs})
+	return nil
+}
+
+// Status reports the solver outcome.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String names the solver outcome.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution is the solver output; X and Value are meaningful only when
+// Status == Optimal.
+type Solution struct {
+	Status Status
+	X      []float64
+	Value  float64
+	Pivots int
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex and returns the solution. An error is
+// returned only for malformed input; infeasibility and unboundedness are
+// reported through Status.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.Obj)
+	if n == 0 {
+		return nil, errors.New("lp: no variables")
+	}
+	m := len(p.Rows)
+	if m == 0 {
+		return nil, errors.New("lp: no constraints")
+	}
+	for i, r := range p.Rows {
+		if len(r.Coef) != n {
+			return nil, fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(r.Coef), n)
+		}
+		for _, v := range append(append([]float64{}, r.Coef...), r.RHS) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("lp: row %d contains a non-finite value", i)
+			}
+		}
+	}
+
+	// Count slack/surplus columns and normalize RHS signs.
+	type rowInfo struct {
+		rel   Relation
+		scale float64 // +-1 applied to make RHS >= 0
+	}
+	infos := make([]rowInfo, m)
+	slackCount := 0
+	for i, r := range p.Rows {
+		rel, scale := r.Rel, 1.0
+		if r.RHS < 0 {
+			scale = -1
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		infos[i] = rowInfo{rel: rel, scale: scale}
+		if rel != EQ {
+			slackCount++
+		}
+	}
+
+	// Column layout: [structural | slack/surplus | artificial].
+	// Every row receives an artificial variable; for LE rows with RHS >= 0
+	// the slack could serve as the basis, but always adding artificials
+	// keeps the code uniform and costs only columns.
+	total := n + slackCount + m
+	tab := make([][]float64, m+1) // last row = objective
+	for i := range tab {
+		tab[i] = make([]float64, total+1) // last column = RHS
+	}
+	basis := make([]int, m)
+
+	slackCol := n
+	artCol := n + slackCount
+	for i, r := range p.Rows {
+		info := infos[i]
+		for jx, v := range r.Coef {
+			tab[i][jx] = info.scale * v
+		}
+		tab[i][total] = info.scale * r.RHS
+		switch info.rel {
+		case LE:
+			tab[i][slackCol] = 1
+			slackCol++
+		case GE:
+			tab[i][slackCol] = -1
+			slackCol++
+		}
+		tab[i][artCol+i] = 1
+		basis[i] = artCol + i
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	obj := tab[m]
+	for j := artCol; j < artCol+m; j++ {
+		obj[j] = 1
+	}
+	// Price out the artificial basis.
+	for i := 0; i < m; i++ {
+		for j := 0; j <= total; j++ {
+			obj[j] -= tab[i][j]
+		}
+	}
+	pivots, status := iterate(tab, basis, total, artCol)
+	if status == Unbounded {
+		return &Solution{Status: Infeasible, Pivots: pivots}, nil
+	}
+	if -obj[total] > 1e-7 { // phase-1 objective value is -obj[RHS]
+		return &Solution{Status: Infeasible, Pivots: pivots}, nil
+	}
+	// Drive any remaining artificial variables out of the basis.
+	for i := 0; i < m; i++ {
+		if basis[i] < artCol {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < artCol; j++ {
+			if math.Abs(tab[i][j]) > eps {
+				pivot(tab, basis, i, j, total)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; zero it so it cannot interfere.
+			for j := 0; j <= total; j++ {
+				tab[i][j] = 0
+			}
+		}
+	}
+
+	// Phase 2: install the real objective and forbid artificial columns.
+	for j := 0; j <= total; j++ {
+		obj[j] = 0
+	}
+	for jx, v := range p.Obj {
+		obj[jx] = v
+	}
+	for i := 0; i < m; i++ {
+		b := basis[i]
+		if b >= artCol || math.Abs(obj[b]) < eps {
+			continue
+		}
+		coef := obj[b]
+		for j := 0; j <= total; j++ {
+			obj[j] -= coef * tab[i][j]
+		}
+	}
+	p2, status := iterate(tab, basis, total, artCol)
+	pivots += p2
+	if status == Unbounded {
+		return &Solution{Status: Unbounded, Pivots: pivots}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	var value float64
+	for jx, c := range p.Obj {
+		value += c * x[jx]
+	}
+	return &Solution{Status: Optimal, X: x, Value: value, Pivots: pivots}, nil
+}
+
+// iterate runs simplex pivots with Bland's rule until optimality or
+// unboundedness, never entering columns >= forbidFrom.
+func iterate(tab [][]float64, basis []int, total, forbidFrom int) (int, Status) {
+	m := len(basis)
+	obj := tab[m]
+	pivots := 0
+	for {
+		// Bland: entering column = smallest index with negative reduced cost.
+		col := -1
+		for j := 0; j < forbidFrom; j++ {
+			if obj[j] < -eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return pivots, Optimal
+		}
+		// Ratio test, Bland tie-break on basis index.
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][col]
+			if a > eps {
+				ratio := tab[i][total] / a
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (row < 0 || basis[i] < basis[row])) {
+					bestRatio = ratio
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return pivots, Unbounded
+		}
+		pivot(tab, basis, row, col, total)
+		pivots++
+	}
+}
+
+// pivot performs a full tableau pivot on (row, col).
+func pivot(tab [][]float64, basis []int, row, col, total int) {
+	p := tab[row][col]
+	inv := 1 / p
+	for j := 0; j <= total; j++ {
+		tab[row][j] *= inv
+	}
+	tab[row][col] = 1 // kill residual rounding
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+		tab[i][col] = 0
+	}
+	basis[row] = col
+}

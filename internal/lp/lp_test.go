@@ -1,0 +1,197 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTextbookMaximization(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Hillier/Lieberman)
+	// -> x = 2, y = 6, value 36. We minimize the negation.
+	p := &Problem{Obj: []float64{-3, -5}}
+	p.AddRow([]float64{1, 0}, LE, 4)
+	p.AddRow([]float64{0, 2}, LE, 12)
+	p.AddRow([]float64{3, 2}, LE, 18)
+	s := solve(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Value+36) > 1e-7 {
+		t.Errorf("value = %v, want -36", s.Value)
+	}
+	if math.Abs(s.X[0]-2) > 1e-7 || math.Abs(s.X[1]-6) > 1e-7 {
+		t.Errorf("x = %v, want (2,6)", s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x >= 3, y >= 2 -> x=8, y=2, value 12.
+	p := &Problem{Obj: []float64{1, 2}}
+	p.AddRow([]float64{1, 1}, EQ, 10)
+	p.AddRow([]float64{1, 0}, GE, 3)
+	p.AddRow([]float64{0, 1}, GE, 2)
+	s := solve(t, p)
+	if s.Status != Optimal || math.Abs(s.Value-12) > 1e-7 {
+		t.Fatalf("status %v value %v, want optimal 12", s.Status, s.Value)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -5  (i.e. x >= 5) -> 5.
+	p := &Problem{Obj: []float64{1}}
+	p.AddRow([]float64{-1}, LE, -5)
+	s := solve(t, p)
+	if s.Status != Optimal || math.Abs(s.Value-5) > 1e-7 {
+		t.Fatalf("value = %v (%v), want 5", s.Value, s.Status)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{Obj: []float64{1}}
+	p.AddRow([]float64{1}, LE, 1)
+	p.AddRow([]float64{1}, GE, 2)
+	s := solve(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x s.t. x >= 1 -> unbounded below.
+	p := &Problem{Obj: []float64{-1}}
+	p.AddRow([]float64{1}, GE, 1)
+	s := solve(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	p := &Problem{Obj: []float64{-0.75, 150, -0.02, 6}}
+	p.AddRow([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddRow([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddRow([]float64{0, 0, 1, 0}, LE, 1)
+	s := solve(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Value+0.05) > 1e-7 {
+		t.Errorf("value = %v, want -0.05", s.Value)
+	}
+}
+
+func TestRedundantRows(t *testing.T) {
+	p := &Problem{Obj: []float64{1, 1}}
+	p.AddRow([]float64{1, 1}, EQ, 4)
+	p.AddRow([]float64{2, 2}, EQ, 8) // same constraint scaled
+	s := solve(t, p)
+	if s.Status != Optimal || math.Abs(s.Value-4) > 1e-7 {
+		t.Fatalf("value = %v (%v), want 4", s.Value, s.Status)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Error("empty problem accepted")
+	}
+	p := &Problem{Obj: []float64{1}}
+	if _, err := Solve(p); err == nil {
+		t.Error("no constraints accepted")
+	}
+	if err := p.AddRow([]float64{1, 2}, LE, 1); err == nil {
+		t.Error("wrong-width row accepted")
+	}
+	p.Rows = append(p.Rows, Constraint{Coef: []float64{math.NaN()}, Rel: LE, RHS: 1})
+	if _, err := Solve(p); err == nil {
+		t.Error("NaN coefficient accepted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(9).String() != "unknown" {
+		t.Error("Status.String values wrong")
+	}
+}
+
+// Property: on random transportation-style problems (always feasible and
+// bounded) the solution satisfies every constraint and matches a
+// brute-force vertex check on tiny cases.
+func TestRandomFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		p := &Problem{Obj: make([]float64, n)}
+		for j := range p.Obj {
+			p.Obj[j] = rng.Float64() * 5
+		}
+		// sum x = supply, each x <= cap (caps sum above supply).
+		supply := 1 + rng.Float64()*5
+		ones := make([]float64, n)
+		caps := make([]float64, n)
+		var capSum float64
+		for j := range ones {
+			ones[j] = 1
+			caps[j] = supply/float64(n) + rng.Float64()*supply
+			capSum += caps[j]
+		}
+		if capSum < supply {
+			return true // skip pathological draw
+		}
+		p.AddRow(ones, EQ, supply)
+		for j := range caps {
+			row := make([]float64, n)
+			row[j] = 1
+			p.AddRow(row, LE, caps[j])
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		var sum float64
+		for j, v := range s.X {
+			if v < -1e-7 || v > caps[j]+1e-7 {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-supply) > 1e-6 {
+			return false
+		}
+		// Optimal must not beat the greedy fill of cheapest slots.
+		type slot struct{ c, cap float64 }
+		slots := make([]slot, n)
+		for j := range slots {
+			slots[j] = slot{p.Obj[j], caps[j]}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if slots[j].c < slots[i].c {
+					slots[i], slots[j] = slots[j], slots[i]
+				}
+			}
+		}
+		left, best := supply, 0.0
+		for _, sl := range slots {
+			take := math.Min(left, sl.cap)
+			best += take * sl.c
+			left -= take
+		}
+		return math.Abs(s.Value-best) < 1e-6*(1+math.Abs(best))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,331 @@
+package online
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpss/internal/job"
+	"mpss/internal/opt"
+	"mpss/internal/power"
+	"mpss/internal/workload"
+)
+
+func mustInstance(t *testing.T, m int, jobs []job.Job) *job.Instance {
+	t.Helper()
+	in, err := job.NewInstance(m, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func optimalEnergy(t *testing.T, in *job.Instance, p power.Function) float64 {
+	t.Helper()
+	res, err := opt.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Schedule.Energy(p)
+}
+
+func TestOASingleProcWorkedExample(t *testing.T) {
+	// Classic OA trace: J1 alone runs at speed 1; when J2 arrives at t=2
+	// the remaining 2+2 units must fit into [2,4), so speed jumps to 2.
+	jobs := []job.Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 4},
+		{ID: 2, Release: 2, Deadline: 4, Work: 2},
+	}
+	in := mustInstance(t, 1, jobs)
+	res, err := OA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	p := power.MustAlpha(2)
+	if got := res.Schedule.Energy(p); math.Abs(got-10) > 1e-6 {
+		t.Errorf("OA energy = %v, want 10", got)
+	}
+	if res.Replans != 2 {
+		t.Errorf("Replans = %d, want 2", res.Replans)
+	}
+	// Offline optimum runs at 1.5 throughout: energy 9.
+	if opt := optimalEnergy(t, in, p); math.Abs(opt-9) > 1e-6 {
+		t.Errorf("offline optimum = %v, want 9", opt)
+	}
+}
+
+func TestOAFeasibleAcrossWorkloads(t *testing.T) {
+	for _, g := range workload.All() {
+		for seed := int64(0); seed < 3; seed++ {
+			in, err := g.Make(workload.Spec{N: 10, M: 3, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := OA(in)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", g.Name, seed, err)
+			}
+			if err := res.Schedule.Verify(in); err != nil {
+				t.Errorf("%s/%d: OA schedule infeasible: %v", g.Name, seed, err)
+			}
+		}
+	}
+}
+
+func TestOACompetitiveBound(t *testing.T) {
+	for _, alpha := range []float64{1.5, 2, 3} {
+		p := power.MustAlpha(alpha)
+		bound := p.OABound()
+		for seed := int64(0); seed < 5; seed++ {
+			in, err := workload.Bursty(workload.Spec{N: 12, M: 2, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := OA(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := res.Schedule.Energy(p) / optimalEnergy(t, in, p)
+			if ratio > bound+1e-6 {
+				t.Errorf("alpha=%v seed=%d: OA ratio %v exceeds bound %v", alpha, seed, ratio, bound)
+			}
+			if ratio < 1-1e-6 {
+				t.Errorf("alpha=%v seed=%d: OA ratio %v below 1 (optimum wrong?)", alpha, seed, ratio)
+			}
+		}
+	}
+}
+
+// Lemma 7: when a new job arrives, the speed of every still-live job in
+// the new plan is at least its speed in the previous plan.
+// Lemma 8: the minimum processor speed at any future time never drops.
+func TestOAMonotonicityLemmas(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		in, err := workload.Uniform(workload.Spec{N: 12, M: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := OA(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(res.Events); i++ {
+			prev, cur := res.Events[i-1], res.Events[i]
+			// Lemma 7 (job speeds only rise).
+			for id, sPrev := range prev.JobSpeeds {
+				sCur, live := cur.JobSpeeds[id]
+				if !live {
+					continue // finished in the meantime
+				}
+				if sCur < sPrev-1e-6*(1+sPrev) {
+					t.Errorf("seed=%d event=%d: job %d speed dropped %v -> %v",
+						seed, i, id, sPrev, sCur)
+				}
+			}
+			// Lemma 8 (min processor speed only rises), sampled at a few
+			// points of the common horizon.
+			_, hPrev := prev.Plan.Span()
+			_, hCur := cur.Plan.Span()
+			end := math.Min(hPrev, hCur)
+			for f := 0.05; f < 1; f += 0.3 {
+				tt := cur.Time + (end-cur.Time)*f
+				if tt <= cur.Time {
+					continue
+				}
+				mPrev := prev.Plan.MinSpeedAt(tt)
+				mCur := cur.Plan.MinSpeedAt(tt)
+				if mCur < mPrev-1e-6*(1+mPrev) {
+					t.Errorf("seed=%d event=%d t=%v: min speed dropped %v -> %v",
+						seed, i, tt, mPrev, mCur)
+				}
+			}
+		}
+	}
+}
+
+func TestAVRSingleProcIsClassicAVR(t *testing.T) {
+	// On one processor AVR(m) degenerates to the classic Average Rate:
+	// speed = total active density in every interval.
+	jobs := []job.Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 4}, // density 1
+		{ID: 2, Release: 2, Deadline: 6, Work: 8}, // density 2
+	}
+	in := mustInstance(t, 1, jobs)
+	res, err := AVR(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	// Energy: [0,2) at 1, [2,4) at 3, [4,6) at 2 with alpha=2:
+	// 1*2 + 9*2 + 4*2 = 28.
+	p := power.MustAlpha(2)
+	if got := res.Schedule.Energy(p); math.Abs(got-28) > 1e-6 {
+		t.Errorf("AVR energy = %v, want 28", got)
+	}
+}
+
+func TestAVRPeelsHighDensityJobs(t *testing.T) {
+	// One job of density 10 and three of density 1 on three processors:
+	// the dense job gets a dedicated processor (10 > 13/3); the remaining
+	// three jobs pool on the two other processors at speed 3/2.
+	jobs := []job.Job{
+		{ID: 1, Release: 0, Deadline: 2, Work: 20},
+		{ID: 2, Release: 0, Deadline: 2, Work: 2},
+		{ID: 3, Release: 0, Deadline: 2, Work: 2},
+		{ID: 4, Release: 0, Deadline: 2, Work: 2},
+	}
+	in := mustInstance(t, 3, jobs)
+	res, err := AVR(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 1 {
+		t.Fatalf("levels = %+v", res.Levels)
+	}
+	lv := res.Levels[0]
+	if len(lv.Dedicated) != 1 || lv.Dedicated[0] != 1 {
+		t.Errorf("dedicated = %v, want [1]", lv.Dedicated)
+	}
+	if math.Abs(lv.PoolSpeed-1.5) > 1e-9 {
+		t.Errorf("pool speed = %v, want 1.5", lv.PoolSpeed)
+	}
+}
+
+func TestAVRLevelInvariant(t *testing.T) {
+	// Every dedicated job's density strictly exceeds the pool speed, and
+	// every pooled job's density is at most the pool speed.
+	for seed := int64(0); seed < 6; seed++ {
+		in, err := workload.LongShort(workload.Spec{N: 14, M: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := AVR(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Schedule.Verify(in); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, lv := range res.Levels {
+			for _, id := range lv.Dedicated {
+				j, _ := in.ByID(id)
+				if lv.PoolSpeed > 0 && j.Density() <= lv.PoolSpeed-1e-9 {
+					t.Errorf("seed %d %v: dedicated job %d density %v <= pool %v",
+						seed, lv.Interval, id, j.Density(), lv.PoolSpeed)
+				}
+			}
+		}
+	}
+}
+
+func TestAVRCompetitiveBound(t *testing.T) {
+	for _, alpha := range []float64{1.5, 2, 3} {
+		p := power.MustAlpha(alpha)
+		bound := p.AVRBound()
+		for seed := int64(0); seed < 5; seed++ {
+			in, err := workload.Uniform(workload.Spec{N: 12, M: 2, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := AVR(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := res.Schedule.Energy(p) / optimalEnergy(t, in, p)
+			if ratio > bound+1e-6 {
+				t.Errorf("alpha=%v seed=%d: AVR ratio %v exceeds bound %v", alpha, seed, ratio, bound)
+			}
+			if ratio < 1-1e-6 {
+				t.Errorf("alpha=%v seed=%d: AVR ratio %v below 1", alpha, seed, ratio)
+			}
+		}
+	}
+}
+
+func TestNonMigratoryBaselines(t *testing.T) {
+	p := power.MustAlpha(2)
+	assigns := map[string]Assignment{
+		"random":     RandomAssignment(7),
+		"roundrobin": RoundRobinAssignment(),
+		"leastwork":  LeastWorkAssignment(),
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		in, err := workload.LongShort(workload.Spec{N: 12, M: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		optE := optimalEnergy(t, in, p)
+		for name, a := range assigns {
+			s, err := NonMigratory(in, a)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, seed, err)
+			}
+			if err := s.Verify(in); err != nil {
+				t.Errorf("%s/%d: infeasible: %v", name, seed, err)
+			}
+			// Jobs must stay on one processor.
+			procOf := map[int]int{}
+			for _, seg := range s.Segments {
+				if p0, seen := procOf[seg.JobID]; seen && p0 != seg.Proc {
+					t.Errorf("%s/%d: job %d migrated", name, seed, seg.JobID)
+				}
+				procOf[seg.JobID] = seg.Proc
+			}
+			if e := s.Energy(p); e < optE-1e-6*(1+optE) {
+				t.Errorf("%s/%d: non-migratory energy %v below optimum %v", name, seed, e, optE)
+			}
+		}
+	}
+}
+
+func TestNonMigratoryValidation(t *testing.T) {
+	in := mustInstance(t, 2, []job.Job{{ID: 1, Release: 0, Deadline: 1, Work: 1}})
+	if _, err := NonMigratory(in, nil); err == nil {
+		t.Error("nil assignment accepted")
+	}
+	if _, err := NonMigratory(in, func(*job.Instance) []int { return []int{5} }); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+	if _, err := NonMigratory(in, func(*job.Instance) []int { return nil }); err == nil {
+		t.Error("short assignment accepted")
+	}
+}
+
+// Property: both online algorithms always emit feasible schedules and
+// never beat the offline optimum.
+func TestOnlineFeasibilityProperty(t *testing.T) {
+	p := power.MustAlpha(2)
+	f := func(seed int64, rawM uint8) bool {
+		m := 1 + int(rawM%3)
+		in, err := workload.Uniform(workload.Spec{N: 8, M: m, Seed: seed})
+		if err != nil {
+			return false
+		}
+		optRes, err := opt.Schedule(in)
+		if err != nil {
+			return false
+		}
+		optE := optRes.Schedule.Energy(p)
+		oa, err := OA(in)
+		if err != nil || oa.Schedule.Verify(in) != nil {
+			return false
+		}
+		avr, err := AVR(in)
+		if err != nil || avr.Schedule.Verify(in) != nil {
+			return false
+		}
+		return oa.Schedule.Energy(p) >= optE-1e-6*(1+optE) &&
+			avr.Schedule.Energy(p) >= optE-1e-6*(1+optE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package opt
+
+import (
+	"fmt"
+	"math/big"
+
+	"mpss/internal/flow"
+	"mpss/internal/job"
+	"mpss/internal/schedule"
+)
+
+// exactSolve mirrors floatSolve with exact rational arithmetic for every
+// phase decision. float64 inputs are converted losslessly (every finite
+// float64 is a rational), so saturation tests and job removals are exact;
+// only the final segment emission rounds back to float64.
+func exactSolve(in *job.Instance) (*Result, error) {
+	ivs := job.Partition(in.Jobs)
+	used := make([]int, len(ivs))
+	remaining := make([]int, 0, in.N())
+	for i := range in.Jobs {
+		remaining = append(remaining, i)
+	}
+
+	res := &Result{Schedule: schedule.New(in.M), Intervals: ivs}
+
+	ivLen := make([]*big.Rat, len(ivs))
+	for jx, iv := range ivs {
+		ivLen[jx] = new(big.Rat).SetFloat64(iv.Len())
+	}
+	work := make([]*big.Rat, in.N())
+	for i, j := range in.Jobs {
+		work[i] = new(big.Rat).SetFloat64(j.Work)
+	}
+
+	for len(remaining) > 0 {
+		cand := append([]int(nil), remaining...)
+		var (
+			speed *big.Rat
+			mj    []int
+			tkj   map[int][]pieceTime
+		)
+		for {
+			res.Stats.Rounds++
+			var found bool
+			var removed int
+			found, removed, speed, mj, tkj = exactRound(in, ivs, ivLen, work, used, cand, &res.Stats)
+			if found {
+				break
+			}
+			cand = deleteIndex(cand, removed)
+			if len(cand) == 0 {
+				return nil, fmt.Errorf("opt: exact phase emptied its candidate set")
+			}
+		}
+		sp, _ := speed.Float64()
+		if err := emitPhase(in, ivs, used, cand, sp, mj, tkj, res); err != nil {
+			return nil, err
+		}
+		remaining = subtract(remaining, cand)
+	}
+
+	res.Schedule.Normalize()
+	return res, nil
+}
+
+func exactRound(in *job.Instance, ivs []job.Interval, ivLen []*big.Rat, work []*big.Rat, used, cand []int, st *Stats) (found bool, removed int, speed *big.Rat, mj []int, tkj map[int][]pieceTime) {
+	nIv := len(ivs)
+	mj = make([]int, nIv)
+	totalWork := new(big.Rat)
+	totalTime := new(big.Rat)
+	activeIn := make([][]int, nIv)
+	for jx, iv := range ivs {
+		free := in.M - used[jx]
+		if free < 0 {
+			free = 0
+		}
+		for pos, k := range cand {
+			if in.Jobs[k].ActiveIn(iv.Start, iv.End) {
+				activeIn[jx] = append(activeIn[jx], pos)
+			}
+		}
+		mj[jx] = min(len(activeIn[jx]), free)
+		totalTime.Add(totalTime, new(big.Rat).Mul(big.NewRat(int64(mj[jx]), 1), ivLen[jx]))
+	}
+	for _, k := range cand {
+		totalWork.Add(totalWork, work[k])
+	}
+	if totalTime.Sign() <= 0 {
+		return false, 0, nil, mj, nil
+	}
+	speed = new(big.Rat).Quo(totalWork, totalTime)
+
+	ivNode := make([]int, nIv)
+	node := 1 + len(cand)
+	for jx := range ivs {
+		if mj[jx] > 0 {
+			ivNode[jx] = node
+			node++
+		} else {
+			ivNode[jx] = -1
+		}
+	}
+	sink := node
+	g := flow.NewRatGraph(node + 1)
+	if node+1 > st.FlowVertices {
+		st.FlowVertices = node + 1
+	}
+
+	for pos, k := range cand {
+		g.AddEdge(0, 1+pos, new(big.Rat).Quo(work[k], speed))
+	}
+	type jobIvEdge struct {
+		pos, ivIdx int
+		id         flow.EdgeID
+	}
+	var mid []jobIvEdge
+	sinkEdges := make(map[int]flow.EdgeID, nIv)
+	for jx := range ivs {
+		if mj[jx] == 0 {
+			continue
+		}
+		for _, pos := range activeIn[jx] {
+			id := g.AddEdge(1+pos, ivNode[jx], ivLen[jx])
+			mid = append(mid, jobIvEdge{pos: pos, ivIdx: jx, id: id})
+		}
+		sinkEdges[jx] = g.AddEdge(ivNode[jx], sink, new(big.Rat).Mul(big.NewRat(int64(mj[jx]), 1), ivLen[jx]))
+	}
+
+	value := g.MaxFlow(0, sink)
+	if value.Cmp(totalTime) >= 0 {
+		tkj = make(map[int][]pieceTime, len(cand))
+		for _, e := range mid {
+			f := g.Flow(e.id)
+			if f.Sign() > 0 {
+				fv, _ := f.Float64()
+				tkj[cand[e.pos]] = append(tkj[cand[e.pos]], pieceTime{ivIdx: e.ivIdx, t: fv})
+			}
+		}
+		return true, 0, speed, mj, tkj
+	}
+
+	// Exact: pick any unsaturated sink edge, then any unsaturated active
+	// job edge into it.
+	for jx, id := range sinkEdges {
+		if g.Saturated(id) {
+			continue
+		}
+		for _, e := range mid {
+			if e.ivIdx == jx && !g.Saturated(e.id) {
+				return false, e.pos, speed, mj, nil
+			}
+		}
+	}
+	// Unreachable by Lemma 4's counting argument.
+	return false, 0, speed, mj, nil
+}

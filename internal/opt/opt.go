@@ -1,0 +1,338 @@
+// Package opt implements the paper's primary contribution: a strongly
+// combinatorial polynomial-time algorithm computing energy-optimal
+// multi-processor schedules with migration (Section 2, Theorem 1 of
+// Albers, Antoniadis, Greiner: "On multi-processor speed scaling with
+// migration").
+//
+// The algorithm works in phases. Phase i identifies the set J_i of jobs
+// that an optimal schedule runs at the i-th highest speed s_i, together
+// with the number m_ij of processors that set occupies in every event
+// interval I_j (Lemma 3 pins m_ij = min{n_ij, m - sum_{l<i} m_lj}).
+// Within a phase the algorithm iterates rounds: it conjectures that all
+// remaining jobs form J_i, checks the conjecture with a maximum-flow
+// computation on the network G(J, m, s) — source -> job edges of capacity
+// w_k/s, job -> interval edges of capacity |I_j|, interval -> sink edges
+// of capacity m_j|I_j| — and, when the flow does not saturate the source,
+// removes one provably-excluded job and retries. The final flow values
+// are per-interval execution times; McNaughton's wrap-around rule turns
+// them into an explicit schedule.
+//
+// Because the optimal speed levels depend only on the combinatorial
+// structure (not on the particular convex power function), the same
+// schedule is optimal for every convex non-decreasing P with P(0) = 0;
+// the power function enters only when reporting energy.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpss/internal/flow"
+	"mpss/internal/job"
+	"mpss/internal/schedule"
+)
+
+// Phase records one speed level of the optimal schedule: the jobs run at
+// that speed and the processors they occupy per event interval.
+type Phase struct {
+	Speed  float64 // uniform speed s_i of this job set
+	JobIDs []int   // jobs processed at Speed
+	Procs  []int   // m_ij: processors reserved in each event interval
+}
+
+// Stats collects counters for the runtime experiments (E2).
+type Stats struct {
+	Phases       int // p, the number of distinct speed levels
+	Rounds       int // total maximum-flow computations
+	FlowVertices int // vertices of the largest flow network built
+}
+
+// Result is an optimal schedule together with its phase structure.
+type Result struct {
+	Schedule  *schedule.Schedule
+	Phases    []Phase
+	Intervals []job.Interval
+	Stats     Stats
+}
+
+// Option configures the solver.
+type Option func(*config)
+
+type config struct {
+	exact bool
+	tol   float64
+}
+
+// Exact switches the phase decisions to exact math/big.Rat arithmetic.
+// Substantially slower, but immune to floating-point misclassification;
+// used by tests to cross-validate the float64 fast path.
+func Exact() Option { return func(c *config) { c.exact = true } }
+
+// WithTolerance sets the relative tolerance of the float64 fast path
+// (default 1e-9).
+func WithTolerance(tol float64) Option {
+	return func(c *config) { c.tol = tol }
+}
+
+// Schedule computes an energy-optimal schedule for the instance. The
+// returned schedule is feasible (verifiable with schedule.Verify) and
+// optimal for every convex non-decreasing power function with P(0) = 0.
+func Schedule(in *job.Instance, opts ...Option) (*Result, error) {
+	cfg := config{tol: 1e-9}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.exact {
+		return exactSolve(in)
+	}
+	return floatSolve(in, cfg.tol)
+}
+
+func floatSolve(in *job.Instance, tol float64) (*Result, error) {
+	ivs := job.Partition(in.Jobs)
+	used := make([]int, len(ivs)) // processors occupied by earlier phases
+	remaining := make([]int, 0, in.N())
+	for i := range in.Jobs {
+		remaining = append(remaining, i)
+	}
+
+	res := &Result{Schedule: schedule.New(in.M), Intervals: ivs}
+
+	for len(remaining) > 0 {
+		cand := append([]int(nil), remaining...)
+		var (
+			speed float64
+			mj    []int
+			tkj   map[int][]pieceTime
+		)
+		for {
+			res.Stats.Rounds++
+			var found bool
+			var removed int
+			found, removed, speed, mj, tkj = floatRound(in, ivs, used, cand, tol, &res.Stats)
+			if found {
+				break
+			}
+			cand = deleteIndex(cand, removed)
+			if len(cand) == 0 {
+				return nil, fmt.Errorf("opt: phase emptied its candidate set (numerical failure)")
+			}
+		}
+
+		if err := emitPhase(in, ivs, used, cand, speed, mj, tkj, res); err != nil {
+			return nil, err
+		}
+		remaining = subtract(remaining, cand)
+	}
+
+	res.Schedule.Normalize()
+	return res, nil
+}
+
+// pieceTime is the time job (by instance index) runs in one interval.
+type pieceTime struct {
+	ivIdx int
+	t     float64
+}
+
+// floatRound runs one round of a phase: build G(J, m, s), compute the
+// max flow, and either accept the candidate set or name a job to remove.
+func floatRound(in *job.Instance, ivs []job.Interval, used, cand []int, tol float64, st *Stats) (found bool, removed int, speed float64, mj []int, tkj map[int][]pieceTime) {
+	nIv := len(ivs)
+	mj = make([]int, nIv)
+	var totalWork, totalTime float64
+	activeIn := make([][]int, nIv) // candidate positions active per interval
+	for jx, iv := range ivs {
+		free := in.M - used[jx]
+		if free < 0 {
+			free = 0
+		}
+		for pos, k := range cand {
+			if in.Jobs[k].ActiveIn(iv.Start, iv.End) {
+				activeIn[jx] = append(activeIn[jx], pos)
+			}
+		}
+		mj[jx] = min(len(activeIn[jx]), free)
+		totalTime += float64(mj[jx]) * iv.Len()
+	}
+	for _, k := range cand {
+		totalWork += in.Jobs[k].Work
+	}
+	if totalTime <= 0 {
+		// No capacity at all: remove the candidate with the least work to
+		// make progress; this indicates a degenerate instance and will be
+		// caught by the feasibility check of the caller.
+		return false, 0, 0, mj, nil
+	}
+	speed = totalWork / totalTime
+
+	// Vertex layout: 0 = source, 1..len(cand) = jobs, then intervals with
+	// mj > 0, last = sink.
+	ivNode := make([]int, nIv)
+	node := 1 + len(cand)
+	for jx := range ivs {
+		if mj[jx] > 0 {
+			ivNode[jx] = node
+			node++
+		} else {
+			ivNode[jx] = -1
+		}
+	}
+	sink := node
+	g := flow.NewGraph(node + 1)
+	if node+1 > st.FlowVertices {
+		st.FlowVertices = node + 1
+	}
+
+	srcEdges := make([]flow.EdgeID, len(cand))
+	for pos, k := range cand {
+		srcEdges[pos] = g.AddEdge(0, 1+pos, in.Jobs[k].Work/speed)
+	}
+	type jobIvEdge struct {
+		pos, ivIdx int
+		id         flow.EdgeID
+	}
+	var mid []jobIvEdge
+	sinkEdges := make(map[int]flow.EdgeID, nIv)
+	for jx, iv := range ivs {
+		if mj[jx] == 0 {
+			continue
+		}
+		for _, pos := range activeIn[jx] {
+			id := g.AddEdge(1+pos, ivNode[jx], iv.Len())
+			mid = append(mid, jobIvEdge{pos: pos, ivIdx: jx, id: id})
+		}
+		sinkEdges[jx] = g.AddEdge(ivNode[jx], sink, float64(mj[jx])*iv.Len())
+	}
+
+	value := g.MaxFlow(0, sink)
+	slack := tol * math.Max(1, totalTime)
+	if value >= totalTime-slack {
+		// Saturated: the candidate set is the true J_i.
+		tkj = make(map[int][]pieceTime, len(cand))
+		for _, e := range mid {
+			// Collect every positive flow: dropping pieces at the slack
+			// threshold would lose work proportional to the edge count on
+			// large instances.
+			f := g.Flow(e.id)
+			if f > 1e-15 {
+				k := cand[e.pos]
+				tkj[k] = append(tkj[k], pieceTime{ivIdx: e.ivIdx, t: f})
+			}
+		}
+		return true, 0, speed, mj, tkj
+	}
+
+	// Unsaturated: find an interval whose sink edge has slack and, within
+	// it, the active job edge with the most slack (paper line 10).
+	bestIv := -1
+	bestSlack := slack
+	for jx, id := range sinkEdges {
+		s := g.Capacity(id) - g.Flow(id)
+		if s > bestSlack {
+			bestSlack = s
+			bestIv = jx
+		}
+	}
+	if bestIv < 0 {
+		// All sink edges look saturated although the total flow fell
+		// short — only possible through accumulated rounding. Accept.
+		tkj = make(map[int][]pieceTime, len(cand))
+		for _, e := range mid {
+			if f := g.Flow(e.id); f > 1e-15 {
+				tkj[cand[e.pos]] = append(tkj[cand[e.pos]], pieceTime{ivIdx: e.ivIdx, t: f})
+			}
+		}
+		return true, 0, speed, mj, tkj
+	}
+	removePos := -1
+	var removeSlack float64
+	for _, e := range mid {
+		if e.ivIdx != bestIv {
+			continue
+		}
+		if s := g.Capacity(e.id) - g.Flow(e.id); s > removeSlack {
+			removeSlack = s
+			removePos = e.pos
+		}
+	}
+	if removePos < 0 {
+		// Cannot happen per Lemma 4's counting argument; guard anyway.
+		removePos = activeIn[bestIv][0]
+	}
+	return false, removePos, speed, mj, nil
+}
+
+// emitPhase converts the accepted round's flow into schedule segments and
+// bookkeeping.
+func emitPhase(in *job.Instance, ivs []job.Interval, used, cand []int, speed float64, mj []int, tkj map[int][]pieceTime, res *Result) error {
+	phase := Phase{Speed: speed, Procs: append([]int(nil), mj...)}
+	for _, k := range cand {
+		phase.JobIDs = append(phase.JobIDs, in.Jobs[k].ID)
+	}
+	// Group pieces per interval.
+	perIv := make([][]schedule.Piece, len(ivs))
+	for k, pieces := range tkj {
+		for _, p := range pieces {
+			dur := math.Min(p.t, ivs[p.ivIdx].Len())
+			perIv[p.ivIdx] = append(perIv[p.ivIdx], schedule.Piece{
+				JobID:    in.Jobs[k].ID,
+				Duration: dur,
+				Speed:    speed,
+			})
+		}
+	}
+	for jx := range ivs {
+		if mj[jx] == 0 || len(perIv[jx]) == 0 {
+			continue
+		}
+		// tkj is a map, so piece order is otherwise nondeterministic;
+		// sort by job ID to make the solver's output reproducible.
+		sort.Slice(perIv[jx], func(a, b int) bool {
+			return perIv[jx][a].JobID < perIv[jx][b].JobID
+		})
+		procs := make([]int, mj[jx])
+		for i := range procs {
+			procs[i] = used[jx] + i
+		}
+		segs, err := schedule.WrapAround(ivs[jx].Start, ivs[jx].End, procs, perIv[jx])
+		if err != nil {
+			return fmt.Errorf("opt: packing interval %v: %w", ivs[jx], err)
+		}
+		for _, s := range segs {
+			res.Schedule.Add(s)
+		}
+		used[jx] += mj[jx]
+	}
+	res.Phases = append(res.Phases, phase)
+	res.Stats.Phases++
+	return nil
+}
+
+func deleteIndex(cand []int, pos int) []int {
+	out := make([]int, 0, len(cand)-1)
+	out = append(out, cand[:pos]...)
+	return append(out, cand[pos+1:]...)
+}
+
+func subtract(all, remove []int) []int {
+	drop := make(map[int]bool, len(remove))
+	for _, k := range remove {
+		drop[k] = true
+	}
+	out := all[:0]
+	for _, k := range all {
+		if !drop[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapOrder(t *testing.T) {
+	out, err := Map(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, 4, func(int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Errorf("Map(0) = %v, %v", out, err)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	if _, err := Map(-1, 1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := Map[int](3, 1, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+	sentinel := errors.New("boom")
+	_, err := Map(50, 4, func(i int) (int, error) {
+		if i == 17 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestMapStopsEarlyAfterError(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Map(10000, 2, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, errors.New("fail fast")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if calls.Load() > 5000 {
+		t.Errorf("ran %d tasks after early failure", calls.Load())
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(100, 0, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+	if err := ForEach(1, 1, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+}
+
+// Property: results match the sequential computation for any worker count.
+func TestMapMatchesSequentialProperty(t *testing.T) {
+	f := func(rawN, rawW uint8) bool {
+		n := int(rawN % 64)
+		w := int(rawW%8) + 1
+		out, err := Map(n, w, func(i int) (int, error) { return 3*i + 1, nil })
+		if err != nil {
+			return false
+		}
+		for i, v := range out {
+			if v != 3*i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

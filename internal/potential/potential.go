@@ -1,0 +1,219 @@
+// Package potential implements the potential function used in the
+// paper's competitive analysis of OA(m) (Section 3.1):
+//
+//	Phi(t) = alpha * sum_i s_i^(alpha-1) (W_OA(i) - alpha W_OPT(i))
+//	       - alpha^2 * sum_i s'_i^(alpha-1) W'_OPT(i)
+//
+// where J_1..J_p are OA's unfinished jobs grouped by their current plan
+// speeds s_1 > ... > s_p, W_OA(i)/W_OPT(i) are the remaining volumes of
+// those jobs under OA and under the optimal schedule, and the primed sets
+// collect jobs OA has already finished but OPT has not, grouped by the
+// speed OA last used for them.
+//
+// The analysis proves two facts that Theorem 2 integrates into
+// alpha^alpha-competitiveness:
+//
+//	(a) Phi never increases when a job arrives or completes, and
+//	(b) between events, dE_OA/dt - alpha^alpha dE_OPT/dt + dPhi/dt <= 0.
+//
+// Tracker evaluates Phi along an executed OA(m) run against the offline
+// optimum, so property tests and experiments can observe (a) and (b)
+// numerically instead of taking the proof on faith.
+package potential
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpss/internal/job"
+	"mpss/internal/online"
+	"mpss/internal/schedule"
+)
+
+// Tracker evaluates the OA(m) potential at arbitrary times.
+type Tracker struct {
+	in    *job.Instance
+	oa    *online.OAResult
+	opt   *schedule.Schedule
+	alpha float64
+}
+
+// NewTracker wires an instance, an executed OA run on it, and the
+// offline-optimal schedule of the same instance.
+func NewTracker(in *job.Instance, oa *online.OAResult, opt *schedule.Schedule, alpha float64) (*Tracker, error) {
+	if alpha <= 1 {
+		return nil, fmt.Errorf("potential: alpha = %v <= 1", alpha)
+	}
+	if oa == nil || opt == nil || in == nil {
+		return nil, fmt.Errorf("potential: nil input")
+	}
+	return &Tracker{in: in, oa: oa, opt: opt, alpha: alpha}, nil
+}
+
+// eventAt returns the index of the last OA replanning event at or before
+// t, or -1 when t precedes every event.
+func (tr *Tracker) eventAt(t float64) int {
+	idx := -1
+	for i, ev := range tr.oa.Events {
+		if ev.Time <= t {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// state collects, at time t, the remaining volumes and current/last
+// speeds per job under OA, plus OPT's remaining volumes.
+type state struct {
+	// unfinished by OA: job ID -> (current plan speed, OA remaining).
+	speed  map[int]float64
+	remOA  map[int]float64
+	remOPT map[int]float64 // OPT remaining for every job
+	// finished by OA: job ID -> speed OA last used.
+	lastSpeed map[int]float64
+}
+
+func (tr *Tracker) stateAt(t float64) state {
+	st := state{
+		speed:     map[int]float64{},
+		remOA:     map[int]float64{},
+		remOPT:    map[int]float64{},
+		lastSpeed: map[int]float64{},
+	}
+	for _, j := range tr.in.Jobs {
+		st.remOPT[j.ID] = math.Max(0, j.Work-tr.opt.CompletedWork(j.ID, math.Inf(-1), t))
+	}
+
+	ei := tr.eventAt(t)
+	if ei < 0 {
+		return st // nothing released yet; OA state empty
+	}
+	ev := tr.oa.Events[ei]
+	const tiny = 1e-9
+	for id, rem0 := range ev.Remaining {
+		done := ev.Plan.CompletedWork(id, ev.Time, t)
+		rem := rem0 - done
+		j, _ := tr.in.ByID(id)
+		if rem > tiny*(1+j.Work) {
+			st.remOA[id] = rem
+			st.speed[id] = ev.JobSpeeds[id]
+		}
+	}
+	// Jobs finished by OA (released but not live in the current plan, or
+	// depleted within it): last executed speed before t.
+	for _, j := range tr.in.Jobs {
+		if j.Release > t {
+			continue
+		}
+		if _, live := st.remOA[j.ID]; live {
+			continue
+		}
+		if s, ok := lastExecutedSpeed(tr.oa.Schedule, j.ID, t); ok {
+			st.lastSpeed[j.ID] = s
+		}
+	}
+	return st
+}
+
+func lastExecutedSpeed(s *schedule.Schedule, jobID int, t float64) (float64, bool) {
+	best := math.Inf(-1)
+	speed := 0.0
+	found := false
+	for _, seg := range s.Segments {
+		if seg.JobID != jobID || seg.Start > t {
+			continue
+		}
+		if seg.End > best {
+			best = seg.End
+			speed = seg.Speed
+			found = true
+		}
+	}
+	return speed, found
+}
+
+// Phi evaluates the potential at time t.
+func (tr *Tracker) Phi(t float64) float64 {
+	st := tr.stateAt(t)
+	a := tr.alpha
+
+	// Group unfinished jobs by (clustered) speed.
+	type group struct{ wOA, wOPT, speed float64 }
+	groups := map[int]*group{} // key: index into sorted distinct speeds
+	speeds := make([]float64, 0, len(st.speed))
+	for _, s := range st.speed {
+		speeds = append(speeds, s)
+	}
+	sort.Float64s(speeds)
+	distinct := speeds[:0:0]
+	for _, s := range speeds {
+		if len(distinct) == 0 || s-distinct[len(distinct)-1] > 1e-9*(1+s) {
+			distinct = append(distinct, s)
+		}
+	}
+	find := func(s float64) int {
+		i := sort.SearchFloat64s(distinct, s)
+		if i < len(distinct) && math.Abs(distinct[i]-s) <= 1e-9*(1+s) {
+			return i
+		}
+		if i > 0 && math.Abs(distinct[i-1]-s) <= 1e-9*(1+s) {
+			return i - 1
+		}
+		return i
+	}
+	for id, s := range st.speed {
+		g := groups[find(s)]
+		if g == nil {
+			g = &group{speed: s}
+			groups[find(s)] = g
+		}
+		g.wOA += st.remOA[id]
+		g.wOPT += st.remOPT[id]
+	}
+
+	var phi float64
+	for _, g := range groups {
+		phi += a * math.Pow(g.speed, a-1) * (g.wOA - a*g.wOPT)
+	}
+	for id, s := range st.lastSpeed {
+		if w := st.remOPT[id]; w > 0 && s > 0 {
+			phi -= a * a * math.Pow(s, a-1) * w
+		}
+	}
+	return phi
+}
+
+// DriftReport is the audited inequality over one sample window.
+type DriftReport struct {
+	From, To float64
+	EOA      float64 // OA energy spent in the window
+	EOPT     float64 // OPT energy spent in the window
+	DeltaPhi float64 // Phi(To) - Phi(From)
+	LHS      float64 // EOA - alpha^alpha*EOPT + DeltaPhi; should be <= ~0
+}
+
+// Drift evaluates property (b) over [from, to] using the executed OA
+// schedule and the optimal schedule, both integrated exactly.
+func (tr *Tracker) Drift(from, to float64, p interface{ Energy(s, t float64) float64 }) DriftReport {
+	eoa := clipEnergy(tr.oa.Schedule, from, to, p)
+	eopt := clipEnergy(tr.opt, from, to, p)
+	dphi := tr.Phi(to) - tr.Phi(from)
+	return DriftReport{
+		From: from, To: to,
+		EOA: eoa, EOPT: eopt, DeltaPhi: dphi,
+		LHS: eoa - math.Pow(tr.alpha, tr.alpha)*eopt + dphi,
+	}
+}
+
+func clipEnergy(s *schedule.Schedule, from, to float64, p interface{ Energy(s, t float64) float64 }) float64 {
+	var e float64
+	for _, seg := range s.Segments {
+		lo := math.Max(seg.Start, from)
+		hi := math.Min(seg.End, to)
+		if hi > lo {
+			e += p.Energy(seg.Speed, hi-lo)
+		}
+	}
+	return e
+}

@@ -1,0 +1,133 @@
+package potential
+
+import (
+	"math"
+	"testing"
+
+	"mpss/internal/job"
+	"mpss/internal/online"
+	"mpss/internal/opt"
+	"mpss/internal/power"
+	"mpss/internal/workload"
+)
+
+func setup(t *testing.T, seed int64, m int, alpha float64) (*job.Instance, *Tracker, power.Alpha) {
+	t.Helper()
+	in, err := workload.Uniform(workload.Spec{N: 10, M: m, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa, err := online.OA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes, err := opt.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTracker(in, oa, optRes.Schedule, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, tr, power.MustAlpha(alpha)
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(nil, nil, nil, 2); err == nil {
+		t.Error("nil inputs accepted")
+	}
+	in, _ := job.NewInstance(1, []job.Job{{ID: 1, Release: 0, Deadline: 1, Work: 1}})
+	oa, _ := online.OA(in)
+	optRes, _ := opt.Schedule(in)
+	if _, err := NewTracker(in, oa, optRes.Schedule, 1); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+}
+
+func TestPhiZeroAtBoundaries(t *testing.T) {
+	in, tr, _ := setup(t, 3, 2, 2)
+	start, end := in.Horizon()
+	if phi := tr.Phi(start - 1); phi != 0 {
+		t.Errorf("Phi before first release = %v, want 0", phi)
+	}
+	if phi := tr.Phi(end + 1); math.Abs(phi) > 1e-6 {
+		t.Errorf("Phi after horizon = %v, want ~0", phi)
+	}
+}
+
+// Property (a) of the analysis: the potential does not increase when a
+// new job arrives.
+func TestPhiArrivalJumps(t *testing.T) {
+	for _, alpha := range []float64{2, 3} {
+		for seed := int64(0); seed < 6; seed++ {
+			_, tr, _ := setup(t, seed, 2, alpha)
+			for i := 1; i < len(tr.oa.Events); i++ {
+				at := tr.oa.Events[i].Time
+				before := tr.Phi(at - 1e-7)
+				after := tr.Phi(at)
+				scale := 1 + math.Abs(before) + math.Abs(after)
+				if after > before+1e-5*scale {
+					t.Errorf("alpha=%v seed=%d: Phi jumped up at arrival %v: %v -> %v",
+						alpha, seed, at, before, after)
+				}
+			}
+		}
+	}
+}
+
+// Property (b), integrated: over any window, the OA energy minus
+// alpha^alpha times the OPT energy plus the potential change is
+// non-positive (the pointwise drift inequality integrated, with only
+// non-increasing jumps inside).
+func TestDriftInequality(t *testing.T) {
+	for _, alpha := range []float64{2, 3} {
+		for seed := int64(0); seed < 6; seed++ {
+			in, tr, p := setup(t, seed, 2, alpha)
+			start, end := in.Horizon()
+
+			// Whole run (Phi(0) = Phi(end) = 0 reduces to Theorem 2).
+			whole := tr.Drift(start, end, p)
+			tol := 1e-5 * (1 + math.Pow(alpha, alpha)*whole.EOPT)
+			if whole.LHS > tol {
+				t.Errorf("alpha=%v seed=%d: whole-run drift %v > 0", alpha, seed, whole.LHS)
+			}
+
+			// Inter-arrival windows (open interiors).
+			for i := 0; i+1 < len(tr.oa.Events); i++ {
+				a := tr.oa.Events[i].Time + 1e-7
+				b := tr.oa.Events[i+1].Time - 1e-7
+				if b <= a {
+					continue
+				}
+				r := tr.Drift(a, b, p)
+				if r.LHS > tol {
+					t.Errorf("alpha=%v seed=%d window [%v,%v]: drift LHS %v > 0 (EOA=%v EOPT=%v dPhi=%v)",
+						alpha, seed, a, b, r.LHS, r.EOA, r.EOPT, r.DeltaPhi)
+				}
+			}
+		}
+	}
+}
+
+// The derivative version of property (b) on fine sub-windows: sampling
+// inside one inter-arrival window must also satisfy the inequality,
+// because completions only ever decrease the potential.
+func TestDriftFineGrained(t *testing.T) {
+	_, tr, p := setup(t, 1, 3, 2)
+	if len(tr.oa.Events) < 2 {
+		t.Skip("trace too short")
+	}
+	a := tr.oa.Events[0].Time
+	b := tr.oa.Events[len(tr.oa.Events)-1].Time
+	steps := 40
+	tol := 1e-4 * (1 + math.Pow(2, 2)*tr.Drift(a, b, p).EOPT)
+	for i := 0; i < steps; i++ {
+		lo := a + (b-a)*float64(i)/float64(steps)
+		hi := a + (b-a)*float64(i+1)/float64(steps)
+		r := tr.Drift(lo, hi, p)
+		if r.LHS > tol {
+			t.Errorf("window [%v,%v]: drift LHS %v > tol (EOA=%v EOPT=%v dPhi=%v)",
+				lo, hi, r.LHS, r.EOA, r.EOPT, r.DeltaPhi)
+		}
+	}
+}

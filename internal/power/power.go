@@ -1,0 +1,279 @@
+// Package power models processor power functions for dynamic speed scaling.
+//
+// A power function P maps a processor speed s >= 0 to the instantaneous
+// power drawn when running at that speed. The speed-scaling framework of
+// Yao, Demers and Shenker — and the multi-processor extension implemented
+// by this repository — requires P to be convex and non-decreasing with
+// P(0) = 0 (an idle processor draws no dynamic power; sleep states and
+// static leakage are outside the model).
+//
+// The classic family is P(s) = s^alpha with alpha > 1, matching the
+// cube-root rule for CMOS devices at alpha = 3. General convex functions
+// are supported through the Function interface; PiecewiseLinear and
+// Polynomial provide ready-made implementations.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Function is a convex, non-decreasing power function with P(0) = 0.
+//
+// Implementations must be safe for concurrent use; all implementations in
+// this package are immutable after construction.
+type Function interface {
+	// Power returns P(s), the instantaneous power at speed s >= 0.
+	Power(s float64) float64
+	// Energy returns the energy consumed running at constant speed s for
+	// duration t, i.e. P(s) * t.
+	Energy(s, t float64) float64
+	// String returns a short human-readable description.
+	String() string
+}
+
+// Alpha is the canonical power function P(s) = s^Exponent with Exponent > 1.
+type Alpha struct {
+	Exponent float64
+}
+
+// NewAlpha returns the power function P(s) = s^alpha.
+// It returns an error unless alpha > 1, the range required by the
+// competitive analyses of OA(m) and AVR(m).
+func NewAlpha(alpha float64) (Alpha, error) {
+	if math.IsNaN(alpha) || alpha <= 1 {
+		return Alpha{}, fmt.Errorf("power: alpha must exceed 1, got %v", alpha)
+	}
+	return Alpha{Exponent: alpha}, nil
+}
+
+// MustAlpha is NewAlpha that panics on invalid alpha. Intended for
+// package-level variables and tests.
+func MustAlpha(alpha float64) Alpha {
+	p, err := NewAlpha(alpha)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Power returns s^alpha.
+func (a Alpha) Power(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	return math.Pow(s, a.Exponent)
+}
+
+// Energy returns s^alpha * t.
+func (a Alpha) Energy(s, t float64) float64 { return a.Power(s) * t }
+
+// String renders the function as s^alpha.
+func (a Alpha) String() string { return fmt.Sprintf("s^%g", a.Exponent) }
+
+// OABound returns alpha^alpha, the proven competitive ratio of OA(m)
+// (Theorem 2 of the paper).
+func (a Alpha) OABound() float64 { return math.Pow(a.Exponent, a.Exponent) }
+
+// AVRBound returns (2*alpha)^alpha/2 + 1, the proven competitive ratio of
+// AVR(m) (Theorem 3 of the paper).
+func (a Alpha) AVRBound() float64 {
+	return math.Pow(2*a.Exponent, a.Exponent)/2 + 1
+}
+
+// Polynomial is a convex non-decreasing power function of the form
+//
+//	P(s) = sum_i Coeffs[i].C * s^Coeffs[i].E
+//
+// with C >= 0 and E >= 1 for every term, which guarantees convexity and
+// monotonicity on s >= 0 and P(0) = 0.
+type Polynomial struct {
+	terms []Term
+}
+
+// Term is one monomial C * s^E of a Polynomial.
+type Term struct {
+	C float64 // coefficient, must be >= 0
+	E float64 // exponent, must be >= 1
+}
+
+// NewPolynomial builds a polynomial power function from the given terms.
+// Terms with zero coefficient are dropped. At least one term with positive
+// coefficient is required.
+func NewPolynomial(terms ...Term) (*Polynomial, error) {
+	kept := make([]Term, 0, len(terms))
+	for _, t := range terms {
+		if math.IsNaN(t.C) || math.IsNaN(t.E) || t.C < 0 {
+			return nil, fmt.Errorf("power: invalid term coefficient %v", t.C)
+		}
+		if t.E < 1 {
+			return nil, fmt.Errorf("power: term exponent %v < 1 breaks convexity", t.E)
+		}
+		if t.C > 0 {
+			kept = append(kept, t)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, errors.New("power: polynomial needs at least one positive term")
+	}
+	return &Polynomial{terms: kept}, nil
+}
+
+// Power evaluates the polynomial at speed s.
+func (p *Polynomial) Power(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range p.terms {
+		sum += t.C * math.Pow(s, t.E)
+	}
+	return sum
+}
+
+// Energy returns P(s) * t.
+func (p *Polynomial) Energy(s, t float64) float64 { return p.Power(s) * t }
+
+// String renders the polynomial term by term.
+func (p *Polynomial) String() string {
+	out := ""
+	for i, t := range p.terms {
+		if i > 0 {
+			out += " + "
+		}
+		out += fmt.Sprintf("%g*s^%g", t.C, t.E)
+	}
+	return out
+}
+
+// PiecewiseLinear is a convex non-decreasing piecewise-linear power
+// function through the origin, defined by breakpoints with strictly
+// increasing speeds and non-decreasing slopes. Beyond the last breakpoint
+// the final slope is extrapolated.
+//
+// Piecewise-linear power functions are exactly the class for which the
+// Bingham–Greenstreet linear program is an exact formulation, so this type
+// backs the LP baseline in internal/bg.
+type PiecewiseLinear struct {
+	speeds []float64 // strictly increasing, speeds[0] == 0
+	powers []float64 // powers[0] == 0, convex sequence
+}
+
+// NewPiecewiseLinear builds a piecewise-linear power function from
+// (speed, power) breakpoints. A breakpoint at the origin is implied and
+// need not be supplied. Breakpoints must have strictly increasing speeds,
+// non-negative powers, and convex (non-decreasing-slope) geometry.
+func NewPiecewiseLinear(points ...[2]float64) (*PiecewiseLinear, error) {
+	if len(points) == 0 {
+		return nil, errors.New("power: piecewise-linear needs at least one breakpoint")
+	}
+	pts := append([][2]float64{}, points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+	speeds := []float64{0}
+	powers := []float64{0}
+	for _, p := range pts {
+		s, w := p[0], p[1]
+		if math.IsNaN(s) || math.IsNaN(w) || s <= 0 || w < 0 {
+			return nil, fmt.Errorf("power: invalid breakpoint (%v, %v)", s, w)
+		}
+		if s <= speeds[len(speeds)-1] {
+			return nil, fmt.Errorf("power: duplicate breakpoint speed %v", s)
+		}
+		speeds = append(speeds, s)
+		powers = append(powers, w)
+	}
+	// Convexity + monotonicity: slopes must be non-negative and
+	// non-decreasing.
+	prevSlope := math.Inf(-1)
+	for i := 1; i < len(speeds); i++ {
+		slope := (powers[i] - powers[i-1]) / (speeds[i] - speeds[i-1])
+		if slope < 0 {
+			return nil, fmt.Errorf("power: decreasing segment before speed %v", speeds[i])
+		}
+		if slope < prevSlope-1e-12 {
+			return nil, fmt.Errorf("power: non-convex kink at speed %v", speeds[i-1])
+		}
+		prevSlope = slope
+	}
+	return &PiecewiseLinear{speeds: speeds, powers: powers}, nil
+}
+
+// SampleAlpha builds a piecewise-linear upper approximation of s^alpha by
+// interpolating it at k+1 evenly spaced breakpoints on (0, maxSpeed].
+// Chords of a convex function lie above it, so the result upper-bounds
+// s^alpha on [0, maxSpeed].
+func SampleAlpha(alpha float64, maxSpeed float64, k int) (*PiecewiseLinear, error) {
+	if k < 1 || maxSpeed <= 0 {
+		return nil, fmt.Errorf("power: invalid sampling k=%d maxSpeed=%v", k, maxSpeed)
+	}
+	pts := make([][2]float64, 0, k)
+	for i := 1; i <= k; i++ {
+		s := maxSpeed * float64(i) / float64(k)
+		pts = append(pts, [2]float64{s, math.Pow(s, alpha)})
+	}
+	return NewPiecewiseLinear(pts...)
+}
+
+// Power evaluates the function at speed s, extrapolating the last slope
+// past the final breakpoint.
+func (p *PiecewiseLinear) Power(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	n := len(p.speeds)
+	i := sort.SearchFloat64s(p.speeds, s)
+	if i >= n {
+		// Extrapolate the final segment.
+		lastSlope := (p.powers[n-1] - p.powers[n-2]) / (p.speeds[n-1] - p.speeds[n-2])
+		return p.powers[n-1] + lastSlope*(s-p.speeds[n-1])
+	}
+	if p.speeds[i] == s {
+		return p.powers[i]
+	}
+	frac := (s - p.speeds[i-1]) / (p.speeds[i] - p.speeds[i-1])
+	return p.powers[i-1] + frac*(p.powers[i]-p.powers[i-1])
+}
+
+// Energy returns P(s) * t.
+func (p *PiecewiseLinear) Energy(s, t float64) float64 { return p.Power(s) * t }
+
+// String summarizes the segment count.
+func (p *PiecewiseLinear) String() string {
+	return fmt.Sprintf("piecewise-linear(%d segments)", len(p.speeds)-1)
+}
+
+// Breakpoints returns copies of the breakpoint speeds and powers,
+// including the implied origin.
+func (p *PiecewiseLinear) Breakpoints() (speeds, powers []float64) {
+	return append([]float64(nil), p.speeds...), append([]float64(nil), p.powers...)
+}
+
+// CheckConvex numerically spot-checks that f is convex and non-decreasing
+// with f(0)=0 on (0, maxSpeed], probing k midpoints. It is a diagnostic
+// guard for user-supplied Function implementations, not a proof.
+func CheckConvex(f Function, maxSpeed float64, k int) error {
+	if f.Power(0) != 0 {
+		return fmt.Errorf("power: P(0) = %v, want 0", f.Power(0))
+	}
+	if k < 2 {
+		k = 2
+	}
+	prev := 0.0
+	for i := 1; i <= k; i++ {
+		s := maxSpeed * float64(i) / float64(k)
+		v := f.Power(s)
+		if v < prev-1e-12 {
+			return fmt.Errorf("power: P decreasing near s=%v", s)
+		}
+		prev = v
+		// Midpoint convexity on a random-ish pair.
+		a := s / 2
+		mid := f.Power((a + s) / 2)
+		if mid > (f.Power(a)+f.Power(s))/2+1e-9*(1+f.Power(s)) {
+			return fmt.Errorf("power: midpoint convexity violated near s=%v", s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAlphaValidation(t *testing.T) {
+	for _, bad := range []float64{1, 0.5, 0, -2, math.NaN()} {
+		if _, err := NewAlpha(bad); err == nil {
+			t.Errorf("NewAlpha(%v) accepted, want error", bad)
+		}
+	}
+	for _, good := range []float64{1.0001, 2, 3, 10} {
+		if _, err := NewAlpha(good); err != nil {
+			t.Errorf("NewAlpha(%v) rejected: %v", good, err)
+		}
+	}
+}
+
+func TestAlphaPower(t *testing.T) {
+	a := MustAlpha(3)
+	cases := []struct{ s, want float64 }{
+		{0, 0}, {-1, 0}, {1, 1}, {2, 8}, {0.5, 0.125},
+	}
+	for _, c := range cases {
+		if got := a.Power(c.s); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Power(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	if got := a.Energy(2, 3); math.Abs(got-24) > 1e-12 {
+		t.Errorf("Energy(2,3) = %v, want 24", got)
+	}
+}
+
+func TestAlphaBounds(t *testing.T) {
+	a := MustAlpha(2)
+	if got := a.OABound(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("OABound = %v, want 4", got)
+	}
+	// (2*2)^2/2 + 1 = 9
+	if got := a.AVRBound(); math.Abs(got-9) > 1e-12 {
+		t.Errorf("AVRBound = %v, want 9", got)
+	}
+}
+
+func TestMustAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlpha(0.5) did not panic")
+		}
+	}()
+	MustAlpha(0.5)
+}
+
+func TestPolynomial(t *testing.T) {
+	p, err := NewPolynomial(Term{C: 1, E: 3}, Term{C: 2, E: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Power(2); math.Abs(got-12) > 1e-12 {
+		t.Errorf("Power(2) = %v, want 12", got)
+	}
+	if got := p.Power(0); got != 0 {
+		t.Errorf("Power(0) = %v, want 0", got)
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestPolynomialValidation(t *testing.T) {
+	if _, err := NewPolynomial(); err == nil {
+		t.Error("empty polynomial accepted")
+	}
+	if _, err := NewPolynomial(Term{C: -1, E: 2}); err == nil {
+		t.Error("negative coefficient accepted")
+	}
+	if _, err := NewPolynomial(Term{C: 1, E: 0.5}); err == nil {
+		t.Error("sub-linear exponent accepted")
+	}
+	if _, err := NewPolynomial(Term{C: 0, E: 2}); err == nil {
+		t.Error("all-zero polynomial accepted")
+	}
+}
+
+func TestPiecewiseLinear(t *testing.T) {
+	p, err := NewPiecewiseLinear([2]float64{1, 1}, [2]float64{2, 4}, [2]float64{3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ s, want float64 }{
+		{0, 0}, {0.5, 0.5}, {1, 1}, {1.5, 2.5}, {2, 4}, {2.5, 6.5}, {3, 9},
+		{4, 14}, // extrapolated final slope 5
+	}
+	for _, c := range cases {
+		if got := p.Power(c.s); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Power(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	speeds, powers := p.Breakpoints()
+	if len(speeds) != 4 || len(powers) != 4 || speeds[0] != 0 || powers[0] != 0 {
+		t.Errorf("Breakpoints() = %v, %v", speeds, powers)
+	}
+}
+
+func TestPiecewiseLinearValidation(t *testing.T) {
+	if _, err := NewPiecewiseLinear(); err == nil {
+		t.Error("empty breakpoints accepted")
+	}
+	if _, err := NewPiecewiseLinear([2]float64{1, 2}, [2]float64{1, 3}); err == nil {
+		t.Error("duplicate speed accepted")
+	}
+	if _, err := NewPiecewiseLinear([2]float64{-1, 1}); err == nil {
+		t.Error("negative speed accepted")
+	}
+	// Concave shape: slope drops from 10 to 1.
+	if _, err := NewPiecewiseLinear([2]float64{1, 10}, [2]float64{2, 11}); err == nil {
+		t.Error("non-convex breakpoints accepted")
+	}
+	// Decreasing power.
+	if _, err := NewPiecewiseLinear([2]float64{1, 5}, [2]float64{2, 3}); err == nil {
+		t.Error("decreasing power accepted")
+	}
+}
+
+func TestSampleAlphaUpperBounds(t *testing.T) {
+	alpha := 2.5
+	pl, err := SampleAlpha(alpha, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0.05; s <= 4; s += 0.05 {
+		exact := math.Pow(s, alpha)
+		approx := pl.Power(s)
+		if approx < exact-1e-9 {
+			t.Fatalf("piecewise approx %v below exact %v at s=%v", approx, exact, s)
+		}
+		// Relative tightness only holds away from the origin, where the
+		// first chord dominates tiny exact values.
+		if s >= 0.5 && approx > exact*1.2+1e-9 {
+			t.Fatalf("piecewise approx %v too loose vs %v at s=%v", approx, exact, s)
+		}
+	}
+}
+
+func TestSampleAlphaValidation(t *testing.T) {
+	if _, err := SampleAlpha(2, 0, 4); err == nil {
+		t.Error("maxSpeed=0 accepted")
+	}
+	if _, err := SampleAlpha(2, 1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestCheckConvex(t *testing.T) {
+	if err := CheckConvex(MustAlpha(3), 10, 16); err != nil {
+		t.Errorf("alpha function failed convexity check: %v", err)
+	}
+	pl, _ := NewPiecewiseLinear([2]float64{1, 1}, [2]float64{2, 4})
+	if err := CheckConvex(pl, 3, 16); err != nil {
+		t.Errorf("piecewise-linear failed convexity check: %v", err)
+	}
+}
+
+// Property: for any alpha in (1, 5] and speeds 0 <= a <= b, power is
+// monotone and Energy is bilinear in t.
+func TestAlphaMonotoneProperty(t *testing.T) {
+	f := func(rawAlpha, rawA, rawB float64) bool {
+		alpha := 1 + math.Mod(math.Abs(rawAlpha), 4) + 1e-6
+		a := math.Mod(math.Abs(rawA), 100)
+		b := a + math.Mod(math.Abs(rawB), 100)
+		p := MustAlpha(alpha)
+		return p.Power(a) <= p.Power(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: piecewise-linear sampling of s^alpha converges from above.
+func TestSampleAlphaRefinementProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		k := 4 + int(raw%60)
+		coarse, err1 := SampleAlpha(2, 2, k)
+		fine, err2 := SampleAlpha(2, 2, 2*k)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for s := 0.1; s < 2; s += 0.1 {
+			if fine.Power(s) > coarse.Power(s)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

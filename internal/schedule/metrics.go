@@ -1,0 +1,69 @@
+package schedule
+
+import (
+	"math"
+	"sort"
+)
+
+// Metrics are descriptive statistics of a schedule, used by the examples
+// and the experiment harness to characterize how the algorithms use the
+// machine (how much migration the optimum actually performs, how busy the
+// processors are, and the speed range employed).
+type Metrics struct {
+	Jobs        int     // distinct jobs appearing in the schedule
+	Segments    int     // segments after normalization
+	Migrations  int     // times a job resumes on a different processor
+	Preemptions int     // times a job is interrupted and later resumed
+	BusyTime    float64 // total processor-seconds of execution
+	Makespan    float64 // latest segment end minus earliest start
+	Utilization float64 // BusyTime / (M * Makespan)
+	MaxSpeed    float64
+	MinSpeed    float64 // minimum positive speed
+}
+
+// ComputeMetrics scans the schedule and derives its Metrics. The schedule
+// is normalized (sorted and merged) in place first so that abutting
+// same-speed segments do not count as preemptions.
+func (s *Schedule) ComputeMetrics() Metrics {
+	s.Normalize()
+	m := Metrics{MinSpeed: math.Inf(1)}
+	if len(s.Segments) == 0 {
+		m.MinSpeed = 0
+		return m
+	}
+
+	byJob := make(map[int][]Segment)
+	for _, seg := range s.Segments {
+		byJob[seg.JobID] = append(byJob[seg.JobID], seg)
+		m.BusyTime += seg.Len()
+		m.MaxSpeed = math.Max(m.MaxSpeed, seg.Speed)
+		m.MinSpeed = math.Min(m.MinSpeed, seg.Speed)
+	}
+	m.Segments = len(s.Segments)
+	m.Jobs = len(byJob)
+
+	start, end := s.Span()
+	m.Makespan = end - start
+	if m.Makespan > 0 && s.M > 0 {
+		m.Utilization = m.BusyTime / (float64(s.M) * m.Makespan)
+	}
+
+	const eps = 1e-9
+	for _, segs := range byJob {
+		sort.Slice(segs, func(a, b int) bool { return segs[a].Start < segs[b].Start })
+		for i := 1; i < len(segs); i++ {
+			prev, cur := segs[i-1], segs[i]
+			gap := cur.Start - prev.End
+			switch {
+			case prev.Proc != cur.Proc:
+				m.Migrations++
+				if gap > eps {
+					m.Preemptions++
+				}
+			case gap > eps:
+				m.Preemptions++
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,83 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMetricsEmpty(t *testing.T) {
+	m := New(2).ComputeMetrics()
+	if m.Jobs != 0 || m.Segments != 0 || m.BusyTime != 0 || m.MinSpeed != 0 {
+		t.Errorf("empty metrics = %+v", m)
+	}
+}
+
+func TestMetricsSingleRun(t *testing.T) {
+	s := New(2)
+	s.Add(Segment{Proc: 0, Start: 0, End: 4, JobID: 1, Speed: 2})
+	m := s.ComputeMetrics()
+	if m.Jobs != 1 || m.Segments != 1 || m.Migrations != 0 || m.Preemptions != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.BusyTime != 4 || m.Makespan != 4 {
+		t.Errorf("busy/makespan = %v/%v", m.BusyTime, m.Makespan)
+	}
+	if math.Abs(m.Utilization-0.5) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.5 (one of two processors)", m.Utilization)
+	}
+	if m.MaxSpeed != 2 || m.MinSpeed != 2 {
+		t.Errorf("speed range = [%v, %v]", m.MinSpeed, m.MaxSpeed)
+	}
+}
+
+func TestMetricsMigration(t *testing.T) {
+	// Job 1 runs on P0 then resumes on P1 with no gap: one migration,
+	// no preemption-with-gap.
+	s := New(2)
+	s.Add(Segment{Proc: 0, Start: 0, End: 2, JobID: 1, Speed: 1})
+	s.Add(Segment{Proc: 1, Start: 2, End: 4, JobID: 1, Speed: 1})
+	m := s.ComputeMetrics()
+	if m.Migrations != 1 {
+		t.Errorf("migrations = %d, want 1", m.Migrations)
+	}
+	if m.Preemptions != 0 {
+		t.Errorf("preemptions = %d, want 0", m.Preemptions)
+	}
+}
+
+func TestMetricsPreemption(t *testing.T) {
+	// Job 1 is interrupted on P0 and resumes later on P0: one preemption,
+	// no migration.
+	s := New(1)
+	s.Add(Segment{Proc: 0, Start: 0, End: 1, JobID: 1, Speed: 1})
+	s.Add(Segment{Proc: 0, Start: 1, End: 2, JobID: 2, Speed: 1})
+	s.Add(Segment{Proc: 0, Start: 2, End: 3, JobID: 1, Speed: 1})
+	m := s.ComputeMetrics()
+	if m.Preemptions != 1 || m.Migrations != 0 {
+		t.Errorf("preemptions/migrations = %d/%d, want 1/0", m.Preemptions, m.Migrations)
+	}
+}
+
+func TestMetricsMergedSegmentsNotPreempted(t *testing.T) {
+	// Abutting same-speed segments merge in Normalize, so they are not
+	// counted as preemptions.
+	s := New(1)
+	s.Add(Segment{Proc: 0, Start: 0, End: 1, JobID: 1, Speed: 1})
+	s.Add(Segment{Proc: 0, Start: 1, End: 2, JobID: 1, Speed: 1})
+	m := s.ComputeMetrics()
+	if m.Segments != 1 || m.Preemptions != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestMetricsMigrationWithGap(t *testing.T) {
+	// Job interrupted on P0, resumes later on P1: both a migration and a
+	// preemption.
+	s := New(2)
+	s.Add(Segment{Proc: 0, Start: 0, End: 1, JobID: 1, Speed: 1})
+	s.Add(Segment{Proc: 1, Start: 3, End: 4, JobID: 1, Speed: 1})
+	m := s.ComputeMetrics()
+	if m.Migrations != 1 || m.Preemptions != 1 {
+		t.Errorf("migrations/preemptions = %d/%d, want 1/1", m.Migrations, m.Preemptions)
+	}
+}

@@ -1,0 +1,66 @@
+package schedule
+
+import (
+	"sort"
+
+	"mpss/internal/power"
+)
+
+// ProfilePoint is one step of a piecewise-constant time series over a
+// schedule: from Time until the next point's Time, the machine runs at
+// TotalSpeed (sum over processors) drawing TotalPower under the power
+// function the profile was built with.
+type ProfilePoint struct {
+	Time       float64
+	TotalSpeed float64
+	TotalPower float64
+	Busy       int // processors executing at this step
+}
+
+// PowerProfile computes the exact piecewise-constant aggregate
+// speed/power series of the schedule under p. The last point always has
+// zero speed and marks the end of the schedule. Useful for plotting
+// energy traces and for comparing algorithms' power shapes over time.
+func (s *Schedule) PowerProfile(p power.Function) []ProfilePoint {
+	if len(s.Segments) == 0 {
+		return nil
+	}
+	// Event times: all segment starts and ends.
+	set := make(map[float64]bool, 2*len(s.Segments))
+	for _, seg := range s.Segments {
+		set[seg.Start] = true
+		set[seg.End] = true
+	}
+	times := make([]float64, 0, len(set))
+	for t := range set {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+
+	out := make([]ProfilePoint, 0, len(times))
+	for _, t := range times[:len(times)-1] {
+		var speed, pow float64
+		busy := 0
+		for _, seg := range s.Segments {
+			if seg.Start <= t && t < seg.End {
+				speed += seg.Speed
+				pow += p.Power(seg.Speed)
+				busy++
+			}
+		}
+		out = append(out, ProfilePoint{Time: t, TotalSpeed: speed, TotalPower: pow, Busy: busy})
+	}
+	out = append(out, ProfilePoint{Time: times[len(times)-1]})
+	return out
+}
+
+// ProfileEnergy integrates a profile back into total energy — by
+// construction it equals Schedule.Energy under the same power function,
+// which the tests use as a consistency check.
+func ProfileEnergy(profile []ProfilePoint) float64 {
+	var e float64
+	for i := 0; i+1 < len(profile); i++ {
+		e += profile[i].TotalPower * (profile[i+1].Time - profile[i].Time)
+	}
+	return e
+}

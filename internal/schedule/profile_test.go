@@ -1,0 +1,84 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpss/internal/power"
+)
+
+func TestPowerProfileSimple(t *testing.T) {
+	p := power.MustAlpha(2)
+	s := New(2)
+	s.Add(Segment{Proc: 0, Start: 0, End: 2, JobID: 1, Speed: 1})
+	s.Add(Segment{Proc: 1, Start: 1, End: 3, JobID: 2, Speed: 2})
+	prof := s.PowerProfile(p)
+	// Steps at 0, 1, 2; terminator at 3.
+	if len(prof) != 4 {
+		t.Fatalf("profile = %+v", prof)
+	}
+	want := []ProfilePoint{
+		{Time: 0, TotalSpeed: 1, TotalPower: 1, Busy: 1},
+		{Time: 1, TotalSpeed: 3, TotalPower: 5, Busy: 2},
+		{Time: 2, TotalSpeed: 2, TotalPower: 4, Busy: 1},
+		{Time: 3},
+	}
+	for i, w := range want {
+		g := prof[i]
+		if math.Abs(g.Time-w.Time) > 1e-12 || math.Abs(g.TotalSpeed-w.TotalSpeed) > 1e-12 ||
+			math.Abs(g.TotalPower-w.TotalPower) > 1e-12 || g.Busy != w.Busy {
+			t.Errorf("point %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestPowerProfileEmpty(t *testing.T) {
+	if prof := New(1).PowerProfile(power.MustAlpha(2)); prof != nil {
+		t.Errorf("empty profile = %v", prof)
+	}
+	if e := ProfileEnergy(nil); e != 0 {
+		t.Errorf("empty profile energy = %v", e)
+	}
+}
+
+// Property: the profile integrates back to exactly the schedule energy.
+func TestProfileEnergyConsistencyProperty(t *testing.T) {
+	p := power.MustAlpha(2.5)
+	f := func(seed int64) bool {
+		s := randomSchedule(seed, 3, 12)
+		prof := s.PowerProfile(p)
+		return math.Abs(ProfileEnergy(prof)-s.Energy(p)) < 1e-9*(1+s.Energy(p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomSchedule builds a feasible-shaped random schedule (no overlap per
+// processor) for profile testing.
+func randomSchedule(seed int64, m, segs int) *Schedule {
+	s := New(m)
+	x := uint64(seed)*2654435761 + 12345
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x%1000) / 1000
+	}
+	cursor := make([]float64, m)
+	for i := 0; i < segs; i++ {
+		p := i % m
+		gap := next() * 2
+		dur := 0.1 + next()*2
+		s.Add(Segment{
+			Proc:  p,
+			Start: cursor[p] + gap,
+			End:   cursor[p] + gap + dur,
+			JobID: i + 1,
+			Speed: 0.2 + next()*3,
+		})
+		cursor[p] += gap + dur
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+// Package sleep adds static power and sleep states on top of a computed
+// schedule — the combined speed-scaling/power-down direction the paper's
+// conclusion points to (Irani, Shukla, Gupta [9]): real processors draw
+// leakage power even at speed zero and can instead transition into a
+// sleep state at a fixed wake-up cost.
+//
+// Given a schedule, an idle power and a wake-up cost, every idle gap on a
+// processor makes the classic ski-rental choice: stay idle (cost
+// gap * IdlePower) or sleep and wake (cost WakeCost). Evaluate reports
+// the resulting energy breakdown; the decision per gap is optimal for
+// the model, so combined with an energy-optimal schedule it measures how
+// the paper's "stretch work out" optimum interacts with leakage — the
+// tension experiment E13 quantifies.
+package sleep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mpss/internal/power"
+	"mpss/internal/schedule"
+)
+
+// Model describes the static-power behaviour of one processor.
+type Model struct {
+	// IdlePower is the power drawn while powered on at speed zero.
+	IdlePower float64
+	// WakeCost is the energy needed to return from the sleep state.
+	WakeCost float64
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.IdlePower < 0 || math.IsNaN(m.IdlePower) || math.IsInf(m.IdlePower, 0) {
+		return fmt.Errorf("sleep: invalid idle power %v", m.IdlePower)
+	}
+	if m.WakeCost < 0 || math.IsNaN(m.WakeCost) || math.IsInf(m.WakeCost, 0) {
+		return fmt.Errorf("sleep: invalid wake cost %v", m.WakeCost)
+	}
+	return nil
+}
+
+// BreakEven returns the gap length above which sleeping beats idling.
+func (m Model) BreakEven() float64 {
+	if m.IdlePower == 0 {
+		return math.Inf(1)
+	}
+	return m.WakeCost / m.IdlePower
+}
+
+// Breakdown is the energy account of a schedule under a sleep model.
+type Breakdown struct {
+	Dynamic  float64 // speed-dependent energy, P(s) integrated over runs
+	Static   float64 // leakage drawn while executing (awake at speed > 0)
+	Idle     float64 // leakage spent in gaps kept idle
+	Wake     float64 // wake-up transitions
+	Sleeps   int     // number of gaps where the processor slept
+	IdleGaps int     // number of gaps kept idle
+	Total    float64
+}
+
+// Evaluate prices the schedule over [start, end) under dynamic power p
+// and the sleep model: an awake processor draws P(s) + IdlePower (the
+// model of [9], where even speed zero consumes static energy), so
+// executing for longer costs more leakage. Processors are assumed asleep
+// before their first segment and after their last (each processor that
+// runs at all pays one initial wake-up); every interior gap takes the
+// cheaper of idling and sleeping-then-waking.
+func Evaluate(s *schedule.Schedule, p power.Function, m Model, start, end float64) (Breakdown, error) {
+	if err := m.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if end < start {
+		return Breakdown{}, fmt.Errorf("sleep: horizon [%v,%v) inverted", start, end)
+	}
+	var b Breakdown
+	byProc := make(map[int][]schedule.Segment)
+	for _, seg := range s.Segments {
+		b.Dynamic += p.Energy(seg.Speed, seg.Len())
+		b.Static += m.IdlePower * seg.Len()
+		byProc[seg.Proc] = append(byProc[seg.Proc], seg)
+	}
+	for _, segs := range byProc {
+		sort.Slice(segs, func(a, b int) bool { return segs[a].Start < segs[b].Start })
+		// Initial wake-up for a processor that runs at all.
+		b.Wake += m.WakeCost
+		b.Sleeps++
+		for i := 1; i < len(segs); i++ {
+			gap := segs[i].Start - segs[i-1].End
+			if gap <= 1e-12 {
+				continue
+			}
+			idleCost := gap * m.IdlePower
+			if idleCost <= m.WakeCost {
+				b.Idle += idleCost
+				b.IdleGaps++
+			} else {
+				b.Wake += m.WakeCost
+				b.Sleeps++
+			}
+		}
+	}
+	b.Total = b.Dynamic + b.Static + b.Idle + b.Wake
+	return b, nil
+}

@@ -1,0 +1,94 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness reports: mean, standard deviation, extrema and
+// percentiles over per-seed samples. Kept separate so harness tables can
+// report distributional information uniformly.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N           int
+	Mean, Std   float64
+	Min, Max    float64
+	Median, P95 float64
+}
+
+// Summarize computes the Summary of the sample. It returns an error on an
+// empty sample or non-finite values.
+func Summarize(sample []float64) (Summary, error) {
+	if len(sample) == 0 {
+		return Summary{}, errors.New("stats: empty sample")
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Summary{}, errors.New("stats: non-finite sample value")
+		}
+		sum += v
+	}
+	n := len(sorted)
+	mean := sum / float64(n)
+	var ss float64
+	for _, v := range sorted {
+		d := v - mean
+		ss += d * d
+	}
+	std := 0.0
+	if n > 1 {
+		std = math.Sqrt(ss / float64(n-1))
+	}
+	return Summary{
+		N:      n,
+		Mean:   mean,
+		Std:    std,
+		Min:    sorted[0],
+		Max:    sorted[n-1],
+		Median: Percentile(sorted, 0.5),
+		P95:    Percentile(sorted, 0.95),
+	}, nil
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an already-sorted
+// sample using linear interpolation between order statistics.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// GeoMean returns the geometric mean of a positive sample — the right
+// aggregate for energy ratios.
+func GeoMean(sample []float64) (float64, error) {
+	if len(sample) == 0 {
+		return 0, errors.New("stats: empty sample")
+	}
+	var logSum float64
+	for _, v := range sample {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, errors.New("stats: geometric mean needs positive finite values")
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(sample))), nil
+}

@@ -1,0 +1,147 @@
+// Package viz renders schedules as standalone SVG documents: one lane per
+// processor, one rectangle per segment, bar height and shade scaled by
+// speed, with a time axis along the event boundaries. It exists so the
+// CLI tools and examples can emit figures directly (stdlib only — the
+// SVG is assembled with fmt and escaped with encoding/xml rules).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"mpss/internal/schedule"
+)
+
+// Options controls the rendering geometry.
+type Options struct {
+	Width      int  // total canvas width in px (default 900)
+	LaneHeight int  // height of one processor lane in px (default 56)
+	ShowLabels bool // draw job IDs inside segments wide enough
+}
+
+func (o Options) normalize() Options {
+	if o.Width <= 0 {
+		o.Width = 900
+	}
+	if o.LaneHeight <= 0 {
+		o.LaneHeight = 56
+	}
+	return o
+}
+
+const (
+	marginLeft = 46
+	marginTop  = 24
+	axisSpace  = 28
+)
+
+// palette of fill colors cycled by job ID (color-blind-safe-ish hues).
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// SVG renders the schedule to w. Empty schedules yield a small document
+// with an explanatory note rather than an error.
+func SVG(out io.Writer, s *schedule.Schedule, o Options) error {
+	o = o.normalize()
+	height := marginTop + o.LaneHeight*maxInt(s.M, 1) + axisSpace
+	fmt.Fprintf(out, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		o.Width, height)
+	fmt.Fprintf(out, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	if len(s.Segments) == 0 {
+		fmt.Fprintf(out, `<text x="%d" y="%d" font-size="13">empty schedule</text>`+"\n", marginLeft, marginTop+20)
+		_, err := fmt.Fprintln(out, `</svg>`)
+		return err
+	}
+
+	start, end := s.Span()
+	span := end - start
+	if span <= 0 {
+		span = 1
+	}
+	plotW := float64(o.Width - marginLeft - 12)
+	x := func(t float64) float64 { return marginLeft + (t-start)/span*plotW }
+
+	maxSpeed := 0.0
+	for _, seg := range s.Segments {
+		maxSpeed = math.Max(maxSpeed, seg.Speed)
+	}
+
+	// Lanes.
+	for p := 0; p < s.M; p++ {
+		y := marginTop + p*o.LaneHeight
+		fmt.Fprintf(out, `<text x="6" y="%d" font-size="12">P%d</text>`+"\n", y+o.LaneHeight/2+4, p)
+		fmt.Fprintf(out, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			marginLeft, y+o.LaneHeight-1, o.Width-12, y+o.LaneHeight-1)
+	}
+
+	// Segments: height proportional to speed, anchored to the lane floor.
+	for _, seg := range s.Segments {
+		laneTop := marginTop + seg.Proc*o.LaneHeight
+		h := (seg.Speed / maxSpeed) * float64(o.LaneHeight-8)
+		if h < 2 {
+			h = 2
+		}
+		yTop := float64(laneTop+o.LaneHeight-1) - h
+		x0, x1 := x(seg.Start), x(seg.End)
+		fill := palette[((seg.JobID%len(palette))+len(palette))%len(palette)]
+		fmt.Fprintf(out,
+			`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="#333" stroke-width="0.4"><title>J%d [%.4g,%.4g) @%.4g</title></rect>`+"\n",
+			x0, yTop, math.Max(x1-x0, 0.5), h, fill, seg.JobID, seg.Start, seg.End, seg.Speed)
+		if o.ShowLabels && x1-x0 > 24 {
+			fmt.Fprintf(out, `<text x="%.2f" y="%.2f" font-size="10" fill="white">J%d</text>`+"\n",
+				x0+3, yTop+h/2+4, seg.JobID)
+		}
+	}
+
+	// Time axis with tick marks at event boundaries (deduplicated).
+	ticks := tickValues(s)
+	axisY := marginTop + s.M*o.LaneHeight + 4
+	fmt.Fprintf(out, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginLeft, axisY, o.Width-12, axisY)
+	for _, t := range ticks {
+		fmt.Fprintf(out, `<line x1="%.2f" y1="%d" x2="%.2f" y2="%d" stroke="#333"/>`+"\n",
+			x(t), axisY, x(t), axisY+4)
+		fmt.Fprintf(out, `<text x="%.2f" y="%d" font-size="9" text-anchor="middle">%.4g</text>`+"\n",
+			x(t), axisY+16, t)
+	}
+
+	_, err := fmt.Fprintln(out, `</svg>`)
+	return err
+}
+
+// tickValues picks at most ~12 segment boundary times, always including
+// the span endpoints.
+func tickValues(s *schedule.Schedule) []float64 {
+	start, end := s.Span()
+	set := map[float64]bool{start: true, end: true}
+	for _, seg := range s.Segments {
+		set[seg.Start] = true
+		set[seg.End] = true
+	}
+	all := make([]float64, 0, len(set))
+	for t := range set {
+		all = append(all, t)
+	}
+	sort.Float64s(all)
+	if len(all) <= 12 {
+		return all
+	}
+	step := float64(len(all)-1) / 11
+	out := make([]float64, 0, 12)
+	for i := 0; i < 12; i++ {
+		out = append(out, all[int(math.Round(float64(i)*step))])
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

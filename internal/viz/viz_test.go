@@ -1,0 +1,111 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"mpss/internal/opt"
+	"mpss/internal/schedule"
+	"mpss/internal/workload"
+)
+
+// svgDoc is a minimal structure to prove the output is well-formed XML.
+type svgDoc struct {
+	XMLName xml.Name  `xml:"svg"`
+	Rects   []svgRect `xml:"rect"`
+	Texts   []string  `xml:"text"`
+	Lines   []svgLine `xml:"line"`
+}
+
+type svgRect struct {
+	X     string `xml:"x,attr"`
+	Width string `xml:"width,attr"` // "100%" on the background rect
+	Fill  string `xml:"fill,attr"`
+	Title string `xml:"title"`
+}
+
+type svgLine struct {
+	X1 string `xml:"x1,attr"`
+}
+
+func render(t *testing.T, s *schedule.Schedule, o Options) (string, svgDoc) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SVG(&buf, s, o); err != nil {
+		t.Fatal(err)
+	}
+	var doc svgDoc
+	if err := xml.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not well-formed XML: %v\n%s", err, buf.String())
+	}
+	return buf.String(), doc
+}
+
+func TestEmptySchedule(t *testing.T) {
+	out, _ := render(t, schedule.New(2), Options{})
+	if !strings.Contains(out, "empty schedule") {
+		t.Errorf("missing empty note:\n%s", out)
+	}
+}
+
+func TestSegmentsRendered(t *testing.T) {
+	s := schedule.New(2)
+	s.Add(schedule.Segment{Proc: 0, Start: 0, End: 2, JobID: 1, Speed: 2})
+	s.Add(schedule.Segment{Proc: 1, Start: 1, End: 3, JobID: 2, Speed: 4})
+	out, doc := render(t, s, Options{ShowLabels: true})
+	// Background rect + 2 segments.
+	if len(doc.Rects) != 3 {
+		t.Fatalf("rects = %d, want 3", len(doc.Rects))
+	}
+	if !strings.Contains(out, "J1 [0,2) @2") {
+		t.Errorf("missing segment tooltip:\n%s", out)
+	}
+	if !strings.Contains(out, `>J1<`) {
+		t.Errorf("labels missing despite ShowLabels")
+	}
+	// Faster segment must be taller: compare heights via raw strings.
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P1") {
+		t.Error("lane labels missing")
+	}
+}
+
+func TestOptimalScheduleRenders(t *testing.T) {
+	in, err := workload.Bursty(workload.Spec{N: 12, M: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, doc := render(t, res.Schedule, Options{Width: 640})
+	if len(doc.Rects) < in.N() {
+		t.Errorf("only %d rects for %d jobs", len(doc.Rects), in.N())
+	}
+	if len(out) < 1000 {
+		t.Errorf("suspiciously small SVG (%d bytes)", len(out))
+	}
+}
+
+func TestTickDeduplication(t *testing.T) {
+	s := schedule.New(1)
+	for i := 0; i < 50; i++ {
+		s.Add(schedule.Segment{Proc: 0, Start: float64(i), End: float64(i) + 0.5, JobID: i, Speed: 1})
+	}
+	ticks := tickValues(s)
+	if len(ticks) > 12 {
+		t.Errorf("ticks = %d, want <= 12", len(ticks))
+	}
+	if ticks[0] != 0 || ticks[len(ticks)-1] != 49.5 {
+		t.Errorf("tick endpoints = %v .. %v", ticks[0], ticks[len(ticks)-1])
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Width <= 0 || o.LaneHeight <= 0 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"mpss/internal/job"
+)
+
+// Task is one periodic real-time task: starting at Phase, it releases a
+// job every Period time units with an implicit deadline one period later
+// and WCET units of work per job — the classic Liu–Layland shape mapped
+// onto the paper's job model.
+type Task struct {
+	Period float64 `json:"period"`
+	WCET   float64 `json:"wcet"`
+	Phase  float64 `json:"phase"`
+}
+
+// Validate checks the task parameters.
+func (t Task) Validate() error {
+	if t.Period <= 0 {
+		return fmt.Errorf("workload: task period %v <= 0", t.Period)
+	}
+	if t.WCET <= 0 {
+		return fmt.Errorf("workload: task wcet %v <= 0", t.WCET)
+	}
+	if t.WCET > t.Period {
+		return fmt.Errorf("workload: task utilization %v > 1 (wcet %v, period %v)",
+			t.WCET/t.Period, t.WCET, t.Period)
+	}
+	if t.Phase < 0 {
+		return fmt.Errorf("workload: negative phase %v", t.Phase)
+	}
+	return nil
+}
+
+// ExpandPeriodic unrolls a periodic task set over [0, horizon) into a job
+// instance on m processors. Per-task utilizations must not exceed 1 (a
+// single job cannot run in parallel with itself, so utilization above 1
+// is infeasible regardless of speed).
+func ExpandPeriodic(m int, tasks []Task, horizon float64) (*job.Instance, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("workload: horizon %v <= 0", horizon)
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("workload: no tasks")
+	}
+	var jobs []job.Job
+	id := 1
+	for ti, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("task %d: %w", ti, err)
+		}
+		for r := t.Phase; r < horizon; r += t.Period {
+			jobs = append(jobs, job.Job{
+				ID:       id,
+				Release:  r,
+				Deadline: r + t.Period,
+				Work:     t.WCET,
+			})
+			id++
+		}
+	}
+	return job.NewInstance(m, jobs)
+}
+
+// Periodic draws a random periodic task set with total utilization near
+// the given target (clamped to [0.1, 0.95*m]) and unrolls it. It models
+// the real-time multi-core scenario from the speed-scaling literature.
+func Periodic(spec Spec, utilization float64) (*job.Instance, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	h := spec.horizon()
+	nTasks := spec.N
+	if nTasks < 1 {
+		nTasks = 1
+	}
+	target := utilization
+	if target <= 0 {
+		target = 0.5 * float64(spec.M)
+	}
+	maxU := 0.95 * float64(spec.M)
+	if target > maxU {
+		target = maxU
+	}
+	tasks := make([]Task, nTasks)
+	for i := range tasks {
+		u := target / float64(nTasks)
+		if u > 0.95 {
+			u = 0.95
+		}
+		period := h / float64(2+rng.Intn(8))
+		tasks[i] = Task{
+			Period: period,
+			WCET:   u * period,
+			Phase:  rng.Float64() * period,
+		}
+	}
+	return ExpandPeriodic(spec.M, tasks, h)
+}
+
+// trace is the JSON shape accepted by FromTrace.
+type trace struct {
+	M    int `json:"m"`
+	Jobs []struct {
+		ID       int     `json:"id"`
+		Release  float64 `json:"release"`
+		Deadline float64 `json:"deadline"`
+		Work     float64 `json:"work"`
+	} `json:"jobs"`
+}
+
+// FromTrace parses an external JSON job trace (same shape the CLI tools
+// emit) into a validated instance. It substitutes for the production
+// traces a deployment would replay.
+func FromTrace(data []byte) (*job.Instance, error) {
+	var tr trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("workload: parsing trace: %w", err)
+	}
+	jobs := make([]job.Job, len(tr.Jobs))
+	for i, j := range tr.Jobs {
+		jobs[i] = job.Job{ID: j.ID, Release: j.Release, Deadline: j.Deadline, Work: j.Work}
+	}
+	return job.NewInstance(tr.M, jobs)
+}

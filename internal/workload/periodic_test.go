@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTaskValidate(t *testing.T) {
+	good := Task{Period: 10, WCET: 3, Phase: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid task rejected: %v", err)
+	}
+	bad := []Task{
+		{Period: 0, WCET: 1},
+		{Period: 10, WCET: 0},
+		{Period: 10, WCET: 11},           // utilization > 1
+		{Period: 10, WCET: 3, Phase: -1}, // negative phase
+	}
+	for _, task := range bad {
+		if err := task.Validate(); err == nil {
+			t.Errorf("invalid task accepted: %+v", task)
+		}
+	}
+}
+
+func TestExpandPeriodic(t *testing.T) {
+	tasks := []Task{
+		{Period: 10, WCET: 2, Phase: 0},
+		{Period: 5, WCET: 1, Phase: 2},
+	}
+	in, err := ExpandPeriodic(2, tasks, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 1 releases at 0, 10 (2 jobs); task 2 at 2, 7, 12, 17 (4 jobs).
+	if in.N() != 6 {
+		t.Fatalf("n = %d, want 6", in.N())
+	}
+	for _, j := range in.Jobs {
+		if j.Deadline-j.Release != 10 && j.Deadline-j.Release != 5 {
+			t.Errorf("job %v has non-period window", j)
+		}
+	}
+}
+
+func TestExpandPeriodicValidation(t *testing.T) {
+	if _, err := ExpandPeriodic(1, nil, 10); err == nil {
+		t.Error("empty task set accepted")
+	}
+	if _, err := ExpandPeriodic(1, []Task{{Period: 1, WCET: 0.5}}, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := ExpandPeriodic(1, []Task{{Period: 1, WCET: 2}}, 10); err == nil {
+		t.Error("over-utilized task accepted")
+	}
+}
+
+func TestPeriodicGenerator(t *testing.T) {
+	in, err := Periodic(Spec{N: 4, M: 2, Seed: 5, Horizon: 40}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.M != 2 || in.N() < 4 {
+		t.Errorf("instance m=%d n=%d", in.M, in.N())
+	}
+	// Deterministic per seed.
+	in2, err := Periodic(Spec{N: 4, M: 2, Seed: 5, Horizon: 40}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != in2.N() {
+		t.Error("periodic generator not deterministic")
+	}
+	// Default utilization path.
+	if _, err := Periodic(Spec{N: 3, M: 2, Seed: 1}, 0); err != nil {
+		t.Errorf("default utilization failed: %v", err)
+	}
+	// Excessive utilization clamps rather than fails.
+	if _, err := Periodic(Spec{N: 3, M: 2, Seed: 1}, 100); err != nil {
+		t.Errorf("clamped utilization failed: %v", err)
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	data := []byte(`{"m":2,"jobs":[
+		{"id":1,"release":0,"deadline":4,"work":2},
+		{"id":2,"release":1,"deadline":6,"work":3}]}`)
+	in, err := FromTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.M != 2 || in.N() != 2 || math.Abs(in.TotalWork()-5) > 1e-12 {
+		t.Errorf("trace parsed wrong: %+v", in)
+	}
+	if _, err := FromTrace([]byte(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := FromTrace([]byte(`{"m":0,"jobs":[]}`)); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}

@@ -1,0 +1,270 @@
+// Package workload generates seeded, reproducible job instances for the
+// test suites and the benchmark harness. Each generator models one of the
+// load shapes discussed in the paper's introduction: steady multi-core
+// load, bursty server-farm traffic, tight-deadline realtime mixes, and
+// adversarial gadgets for the online algorithms.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpss/internal/job"
+)
+
+// Spec parameterizes a generator run.
+type Spec struct {
+	N       int     // number of jobs
+	M       int     // number of processors
+	Seed    int64   // RNG seed; equal specs generate equal instances
+	Horizon float64 // time horizon length (default 100)
+}
+
+func (s Spec) horizon() float64 {
+	if s.Horizon <= 0 {
+		return 100
+	}
+	return s.Horizon
+}
+
+func (s Spec) validate() error {
+	if s.N < 1 {
+		return fmt.Errorf("workload: N = %d < 1", s.N)
+	}
+	if s.M < 1 {
+		return fmt.Errorf("workload: M = %d < 1", s.M)
+	}
+	return nil
+}
+
+// Uniform scatters jobs uniformly over the horizon with moderately loose
+// windows and uniform works — the baseline random workload.
+func Uniform(spec Spec) (*job.Instance, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	h := spec.horizon()
+	jobs := make([]job.Job, spec.N)
+	for i := range jobs {
+		r := rng.Float64() * h * 0.8
+		span := h*0.05 + rng.Float64()*h*0.25
+		jobs[i] = job.Job{
+			ID:       i + 1,
+			Release:  r,
+			Deadline: r + span,
+			Work:     0.5 + rng.Float64()*4,
+		}
+	}
+	return job.NewInstance(spec.M, jobs)
+}
+
+// Bursty releases jobs in a few tight bursts separated by idle gaps —
+// the server-farm arrival pattern that makes migration valuable.
+func Bursty(spec Spec) (*job.Instance, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	h := spec.horizon()
+	bursts := 2 + rng.Intn(3)
+	jobs := make([]job.Job, spec.N)
+	for i := range jobs {
+		b := rng.Intn(bursts)
+		center := h * (0.1 + 0.8*float64(b)/float64(bursts))
+		r := center + rng.Float64()*h*0.02
+		span := h*0.03 + rng.Float64()*h*0.15
+		jobs[i] = job.Job{
+			ID:       i + 1,
+			Release:  r,
+			Deadline: r + span,
+			Work:     1 + rng.Float64()*6,
+		}
+	}
+	return job.NewInstance(spec.M, jobs)
+}
+
+// Tight gives every job a laxity barely above its mean-speed requirement,
+// forcing high speeds and many distinct speed levels.
+func Tight(spec Spec) (*job.Instance, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	h := spec.horizon()
+	jobs := make([]job.Job, spec.N)
+	for i := range jobs {
+		r := rng.Float64() * h * 0.9
+		span := h * (0.005 + rng.Float64()*0.03)
+		jobs[i] = job.Job{
+			ID:       i + 1,
+			Release:  r,
+			Deadline: r + span,
+			Work:     span * (0.5 + rng.Float64()*3),
+		}
+	}
+	return job.NewInstance(spec.M, jobs)
+}
+
+// LongShort mixes a few long background jobs with many short urgent ones —
+// the mix where non-migratory assignment pays the largest energy premium
+// (experiment E7).
+func LongShort(spec Spec) (*job.Instance, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	h := spec.horizon()
+	jobs := make([]job.Job, spec.N)
+	for i := range jobs {
+		if i%4 == 0 { // long job
+			r := rng.Float64() * h * 0.3
+			jobs[i] = job.Job{
+				ID:       i + 1,
+				Release:  r,
+				Deadline: r + h*(0.5+rng.Float64()*0.4),
+				Work:     10 + rng.Float64()*20,
+			}
+		} else { // short urgent job
+			r := rng.Float64() * h * 0.9
+			span := h * (0.01 + rng.Float64()*0.05)
+			jobs[i] = job.Job{
+				ID:       i + 1,
+				Release:  r,
+				Deadline: r + span,
+				Work:     0.2 + rng.Float64()*1.5,
+			}
+		}
+	}
+	return job.NewInstance(spec.M, jobs)
+}
+
+// Staircase builds nested job windows sharing a right endpoint, which
+// drives the offline algorithm through many phases with strictly
+// decreasing speeds — a worst-case-ish structural gadget.
+func Staircase(spec Spec) (*job.Instance, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	h := spec.horizon()
+	jobs := make([]job.Job, spec.N)
+	for i := range jobs {
+		frac := float64(i+1) / float64(spec.N)
+		jobs[i] = job.Job{
+			ID:       i + 1,
+			Release:  h * (1 - frac),
+			Deadline: h,
+			Work:     (1 + rng.Float64()) * h * frac / float64(spec.N) * 4,
+		}
+	}
+	return job.NewInstance(spec.M, jobs)
+}
+
+// AVRAdversarial builds the nested-interval gadget that pushes the
+// single-processor Average Rate term of Theorem 3's bound: many jobs with
+// a common release time and geometrically shrinking deadlines, so the
+// accumulated density at time 0 far exceeds the optimal speed.
+func AVRAdversarial(spec Spec) (*job.Instance, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	h := spec.horizon()
+	jobs := make([]job.Job, spec.N)
+	d := h
+	for i := range jobs {
+		jobs[i] = job.Job{
+			ID:       i + 1,
+			Release:  0,
+			Deadline: d,
+			Work:     d, // density 1 each; total density n at time 0
+		}
+		d /= 2
+		if d < 1e-9 {
+			d = 1e-9 // floor: further jobs share the smallest window
+		}
+	}
+	return job.NewInstance(spec.M, jobs)
+}
+
+// OAAdversarial is the time-reversed cousin of AVRAdversarial: all jobs
+// share the deadline while releases halve the remaining window, so every
+// arrival forces Optimal Available to concentrate more work into less
+// time at ever-higher speeds — the arrival pattern that stresses OA's
+// replanning (its ratio still provably stays below alpha^alpha).
+func OAAdversarial(spec Spec) (*job.Instance, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	h := spec.horizon()
+	jobs := make([]job.Job, spec.N)
+	window := h
+	for i := range jobs {
+		jobs[i] = job.Job{
+			ID:       i + 1,
+			Release:  h - window,
+			Deadline: h,
+			Work:     window, // density 1 within its own window
+		}
+		window /= 2
+		if window < 1e-9 {
+			window = 1e-9
+		}
+	}
+	return job.NewInstance(spec.M, jobs)
+}
+
+// Poisson draws exponential interarrival times (rate scaled so the N jobs
+// fill the horizon), exponential service demands, and uniform laxities —
+// the queueing-flavoured arrival process used in systems evaluations.
+func Poisson(spec Spec) (*job.Instance, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	h := spec.horizon()
+	rate := float64(spec.N) / (h * 0.8)
+	jobs := make([]job.Job, spec.N)
+	t := 0.0
+	for i := range jobs {
+		t += rng.ExpFloat64() / rate
+		span := h*0.02 + rng.Float64()*h*0.2
+		jobs[i] = job.Job{
+			ID:       i + 1,
+			Release:  t,
+			Deadline: t + span,
+			Work:     0.2 + rng.ExpFloat64()*2,
+		}
+	}
+	return job.NewInstance(spec.M, jobs)
+}
+
+// Generator is a named instance generator, for table-driven sweeps.
+type Generator struct {
+	Name string
+	Make func(Spec) (*job.Instance, error)
+}
+
+// All returns the full generator catalogue.
+func All() []Generator {
+	return []Generator{
+		{Name: "uniform", Make: Uniform},
+		{Name: "bursty", Make: Bursty},
+		{Name: "tight", Make: Tight},
+		{Name: "longshort", Make: LongShort},
+		{Name: "staircase", Make: Staircase},
+		{Name: "avr-adversarial", Make: AVRAdversarial},
+		{Name: "oa-adversarial", Make: OAAdversarial},
+		{Name: "poisson", Make: Poisson},
+	}
+}
+
+// ByName returns the named generator.
+func ByName(name string) (Generator, error) {
+	for _, g := range All() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return Generator{}, fmt.Errorf("workload: unknown generator %q", name)
+}

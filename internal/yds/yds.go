@@ -1,0 +1,303 @@
+// Package yds implements the classic single-processor optimal offline
+// speed-scaling algorithm of Yao, Demers and Shenker (FOCS 1995),
+// reference [15] of the paper. It repeatedly locates the maximum-intensity
+// ("critical") interval, schedules the jobs whose windows it contains at
+// the critical speed using EDF, blocks the consumed time, and recurses on
+// the rest — the standard iterative formulation of YDS with time
+// collapsing realised through an available-time measure.
+//
+// The multi-processor algorithm in internal/opt must coincide with YDS at
+// m = 1; the test suites cross-check the two. YDS also powers the
+// non-migratory baselines (assign jobs to processors, run YDS per
+// processor) used in experiment E7.
+package yds
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mpss/internal/job"
+	"mpss/internal/schedule"
+)
+
+// Result is the optimal single-processor schedule with the critical
+// intervals discovered along the way (highest intensity first).
+type Result struct {
+	Schedule  *schedule.Schedule
+	Intensity []float64 // critical speeds, non-increasing
+}
+
+// Schedule computes the energy-optimal single-processor schedule for the
+// jobs. The result is optimal for every convex non-decreasing power
+// function with P(0) = 0.
+func Schedule(jobs []job.Job) (*Result, error) {
+	if len(jobs) == 0 {
+		return nil, errors.New("yds: no jobs")
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	free := newTimeline(jobs)
+	pending := append([]job.Job(nil), jobs...)
+	res := &Result{Schedule: schedule.New(1)}
+
+	for len(pending) > 0 {
+		t1, t2, speed, critical := criticalInterval(pending, free)
+		if len(critical) == 0 {
+			return nil, errors.New("yds: no critical interval found (internal error)")
+		}
+		segs, err := edfPack(critical, free.slice(t1, t2), speed)
+		if err != nil {
+			return nil, fmt.Errorf("yds: packing critical interval [%g,%g): %w", t1, t2, err)
+		}
+		for _, s := range segs {
+			res.Schedule.Add(s)
+		}
+		res.Intensity = append(res.Intensity, speed)
+		free.block(t1, t2)
+		pending = removeJobs(pending, critical)
+	}
+
+	res.Schedule.Normalize()
+	return res, nil
+}
+
+// Energy is a convenience wrapper returning only the optimal energy.
+func Energy(jobs []job.Job, p interface{ Energy(s, t float64) float64 }) (float64, error) {
+	r, err := Schedule(jobs)
+	if err != nil {
+		return 0, err
+	}
+	var e float64
+	for _, seg := range r.Schedule.Segments {
+		e += p.Energy(seg.Speed, seg.Len())
+	}
+	return e, nil
+}
+
+// criticalInterval scans all (release, deadline) pairs and returns the one
+// maximizing contained-work / available-time, together with the contained
+// jobs.
+func criticalInterval(pending []job.Job, free *timeline) (t1, t2, speed float64, critical []job.Job) {
+	starts := make([]float64, 0, len(pending))
+	ends := make([]float64, 0, len(pending))
+	for _, j := range pending {
+		starts = append(starts, j.Release)
+		ends = append(ends, j.Deadline)
+	}
+	sort.Float64s(starts)
+	sort.Float64s(ends)
+	starts = dedup(starts)
+	ends = dedup(ends)
+
+	best := -1.0
+	for _, a := range starts {
+		for _, b := range ends {
+			if b <= a {
+				continue
+			}
+			var w float64
+			for _, j := range pending {
+				if j.Release >= a && j.Deadline <= b {
+					w += j.Work
+				}
+			}
+			if w == 0 {
+				continue
+			}
+			avail := free.available(a, b)
+			if avail <= 0 {
+				continue
+			}
+			if g := w / avail; g > best {
+				best = g
+				t1, t2, speed = a, b, g
+			}
+		}
+	}
+	for _, j := range pending {
+		if j.Release >= t1 && j.Deadline <= t2 {
+			critical = append(critical, j)
+		}
+	}
+	return t1, t2, speed, critical
+}
+
+func dedup(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, v := range xs[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func removeJobs(pending, done []job.Job) []job.Job {
+	drop := make(map[int]bool, len(done))
+	for _, j := range done {
+		drop[j.ID] = true
+	}
+	out := pending[:0]
+	for _, j := range pending {
+		if !drop[j.ID] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// span is one maximal free time window.
+type span struct{ start, end float64 }
+
+// timeline tracks the not-yet-blocked time of the single processor as a
+// sorted list of disjoint free spans.
+type timeline struct {
+	spans []span
+}
+
+func newTimeline(jobs []job.Job) *timeline {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, j := range jobs {
+		lo = math.Min(lo, j.Release)
+		hi = math.Max(hi, j.Deadline)
+	}
+	return &timeline{spans: []span{{start: lo, end: hi}}}
+}
+
+// available returns the free time inside [a, b).
+func (tl *timeline) available(a, b float64) float64 {
+	var total float64
+	for _, s := range tl.spans {
+		lo := math.Max(s.start, a)
+		hi := math.Min(s.end, b)
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// slice returns the free sub-spans inside [a, b).
+func (tl *timeline) slice(a, b float64) []span {
+	var out []span
+	for _, s := range tl.spans {
+		lo := math.Max(s.start, a)
+		hi := math.Min(s.end, b)
+		if hi > lo {
+			out = append(out, span{start: lo, end: hi})
+		}
+	}
+	return out
+}
+
+// block removes [a, b) from the free time.
+func (tl *timeline) block(a, b float64) {
+	var out []span
+	for _, s := range tl.spans {
+		if s.end <= a || s.start >= b {
+			out = append(out, s)
+			continue
+		}
+		if s.start < a {
+			out = append(out, span{start: s.start, end: a})
+		}
+		if s.end > b {
+			out = append(out, span{start: b, end: s.end})
+		}
+	}
+	tl.spans = out
+}
+
+// jobHeap orders jobs by deadline (EDF).
+type jobHeap []*edfJob
+
+type edfJob struct {
+	job.Job
+	remaining float64 // remaining processing time at the critical speed
+}
+
+func (h jobHeap) Len() int            { return len(h) }
+func (h jobHeap) Less(i, j int) bool  { return h[i].Deadline < h[j].Deadline }
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*edfJob)) }
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// edfPack schedules the critical jobs at constant speed inside the free
+// spans using earliest-deadline-first, which YDS theory guarantees
+// feasible at the critical speed.
+func edfPack(jobs []job.Job, free []span, speed float64) ([]schedule.Segment, error) {
+	byRelease := append([]job.Job(nil), jobs...)
+	sort.Slice(byRelease, func(a, b int) bool { return byRelease[a].Release < byRelease[b].Release })
+
+	var segs []schedule.Segment
+	ready := &jobHeap{}
+	next := 0
+	const eps = 1e-12
+
+	for si := 0; si < len(free); si++ {
+		t := free[si].start
+		for t < free[si].end-eps {
+			for next < len(byRelease) && byRelease[next].Release <= t+eps {
+				heap.Push(ready, &edfJob{Job: byRelease[next], remaining: byRelease[next].Work / speed})
+				next++
+			}
+			if ready.Len() == 0 {
+				if next >= len(byRelease) {
+					break
+				}
+				// Idle until the next release, possibly past this span.
+				t = math.Max(t, byRelease[next].Release)
+				continue
+			}
+			top := (*ready)[0]
+			runEnd := free[si].end
+			if next < len(byRelease) && byRelease[next].Release < runEnd {
+				runEnd = math.Max(byRelease[next].Release, t)
+			}
+			run := math.Min(top.remaining, runEnd-t)
+			if run <= eps {
+				// A release coincides with t; loop to admit it.
+				if runEnd <= t+eps && next < len(byRelease) {
+					continue
+				}
+				heap.Pop(ready)
+				continue
+			}
+			segs = append(segs, schedule.Segment{
+				Proc: 0, Start: t, End: t + run, JobID: top.ID, Speed: speed,
+			})
+			top.remaining -= run
+			t += run
+			if top.remaining <= eps {
+				heap.Pop(ready)
+			}
+		}
+	}
+	// Everything must be finished: the critical speed exactly fills the
+	// available time.
+	for _, e := range *ready {
+		if e.remaining > 1e-6 {
+			return nil, fmt.Errorf("job %d has %g time left after EDF pack", e.ID, e.remaining)
+		}
+	}
+	if next < len(byRelease) {
+		return nil, fmt.Errorf("job %d never admitted by EDF pack", byRelease[next].ID)
+	}
+	return segs, nil
+}

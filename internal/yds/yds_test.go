@@ -1,0 +1,187 @@
+package yds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpss/internal/job"
+	"mpss/internal/power"
+	"mpss/internal/workload"
+)
+
+func TestSingleJob(t *testing.T) {
+	res, err := Schedule([]job.Job{{ID: 1, Release: 0, Deadline: 4, Work: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := job.NewInstance(1, []job.Job{{ID: 1, Release: 0, Deadline: 4, Work: 8}})
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	// Single job runs at its density.
+	speeds := res.Schedule.DistinctSpeeds(1e-9)
+	if len(speeds) != 1 || math.Abs(speeds[0]-2) > 1e-9 {
+		t.Errorf("speeds = %v, want [2]", speeds)
+	}
+}
+
+func TestWorkedExample(t *testing.T) {
+	// J1 must run at speed 2 in [0,2); J2 then fills [2,4) at speed 1.
+	jobs := []job.Job{
+		{ID: 1, Release: 0, Deadline: 2, Work: 4},
+		{ID: 2, Release: 0, Deadline: 4, Work: 2},
+	}
+	res, err := Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := job.NewInstance(1, jobs)
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	p := power.MustAlpha(2)
+	if got := res.Schedule.Energy(p); math.Abs(got-10) > 1e-6 {
+		t.Errorf("energy = %v, want 10", got)
+	}
+	if len(res.Intensity) != 2 || math.Abs(res.Intensity[0]-2) > 1e-9 || math.Abs(res.Intensity[1]-1) > 1e-9 {
+		t.Errorf("intensities = %v, want [2 1]", res.Intensity)
+	}
+}
+
+func TestCriticalIntervalInsideHorizon(t *testing.T) {
+	// A dense job in the middle forces a critical interval that splits the
+	// outer job's window into two free spans.
+	jobs := []job.Job{
+		{ID: 1, Release: 0, Deadline: 10, Work: 5},
+		{ID: 2, Release: 4, Deadline: 6, Work: 8}, // density 4
+	}
+	res, err := Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := job.NewInstance(1, jobs)
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Intensity[0]-4) > 1e-9 {
+		t.Errorf("first critical speed = %v, want 4", res.Intensity[0])
+	}
+	// Outer job: 5 work in 8 free time units -> speed 0.625.
+	if math.Abs(res.Intensity[1]-0.625) > 1e-9 {
+		t.Errorf("second critical speed = %v, want 0.625", res.Intensity[1])
+	}
+}
+
+func TestDisjointJobs(t *testing.T) {
+	jobs := []job.Job{
+		{ID: 1, Release: 0, Deadline: 2, Work: 2},
+		{ID: 2, Release: 5, Deadline: 7, Work: 6},
+	}
+	res, err := Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := job.NewInstance(1, jobs)
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	speeds := res.Schedule.JobSpeeds(1e-9)
+	if math.Abs(speeds[1][0]-1) > 1e-9 || math.Abs(speeds[2][0]-3) > 1e-9 {
+		t.Errorf("job speeds = %v", speeds)
+	}
+}
+
+func TestIdenticalJobs(t *testing.T) {
+	jobs := []job.Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 2},
+		{ID: 2, Release: 0, Deadline: 4, Work: 2},
+	}
+	res, err := Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := job.NewInstance(1, jobs)
+	if err := res.Schedule.Verify(in); err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Schedule.DistinctSpeeds(1e-9); len(s) != 1 || math.Abs(s[0]-1) > 1e-9 {
+		t.Errorf("speeds = %v, want [1]", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Schedule(nil); err == nil {
+		t.Error("empty job list accepted")
+	}
+	if _, err := Schedule([]job.Job{{ID: 1, Release: 2, Deadline: 1, Work: 1}}); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+func TestEnergyHelper(t *testing.T) {
+	e, err := Energy([]job.Job{{ID: 1, Release: 0, Deadline: 2, Work: 4}}, power.MustAlpha(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// speed 2 for 2 time units at alpha=3: 8*2 = 16.
+	if math.Abs(e-16) > 1e-9 {
+		t.Errorf("Energy = %v, want 16", e)
+	}
+}
+
+// Property: YDS schedules are feasible, use at most n distinct speeds, and
+// the critical intensities are non-increasing.
+func TestYDSProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in, err := workload.Uniform(workload.Spec{N: 12, M: 1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := Schedule(in.Jobs)
+		if err != nil {
+			return false
+		}
+		if err := res.Schedule.Verify(in); err != nil {
+			return false
+		}
+		if len(res.Schedule.DistinctSpeeds(1e-6)) > in.N() {
+			return false
+		}
+		for i := 1; i < len(res.Intensity); i++ {
+			if res.Intensity[i] > res.Intensity[i-1]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lowering any single job's work cannot raise the optimal energy
+// (monotonicity of the optimum).
+func TestYDSMonotoneInWorkProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in, err := workload.Tight(workload.Spec{N: 8, M: 1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		p := power.MustAlpha(2)
+		base, err := Energy(in.Jobs, p)
+		if err != nil {
+			return false
+		}
+		reduced := append([]job.Job(nil), in.Jobs...)
+		reduced[0].Work /= 2
+		lower, err := Energy(reduced, p)
+		if err != nil {
+			return false
+		}
+		return lower <= base+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

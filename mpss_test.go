@@ -1,0 +1,133 @@
+package mpss
+
+import (
+	"math"
+	"testing"
+)
+
+func quickInstance(t *testing.T) *Instance {
+	t.Helper()
+	in, err := NewInstance(2, []Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 8},
+		{ID: 2, Release: 1, Deadline: 5, Work: 2},
+		{ID: 3, Release: 0, Deadline: 2, Work: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestPublicOfflinePipeline(t *testing.T) {
+	in := quickInstance(t)
+	res, err := OptimalSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res.Schedule, in); err != nil {
+		t.Fatal(err)
+	}
+	p := MustAlpha(3)
+	e := res.Schedule.Energy(p)
+	if e <= 0 || math.IsNaN(e) {
+		t.Errorf("energy = %v", e)
+	}
+	exact, err := OptimalScheduleExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(exact.Schedule.Energy(p) - e); diff > 1e-6*(1+e) {
+		t.Errorf("exact and float energies differ by %v", diff)
+	}
+}
+
+func TestPublicOnlinePipeline(t *testing.T) {
+	in := quickInstance(t)
+	p := MustAlpha(2)
+	optRes, err := OptimalSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optE := optRes.Schedule.Energy(p)
+
+	oa, err := OA(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(oa.Schedule, in); err != nil {
+		t.Fatal(err)
+	}
+	if ratio := oa.Schedule.Energy(p) / optE; ratio > OABound(2)+1e-9 || ratio < 1-1e-9 {
+		t.Errorf("OA ratio %v outside [1, %v]", ratio, OABound(2))
+	}
+
+	avr, err := AVR(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(avr.Schedule, in); err != nil {
+		t.Fatal(err)
+	}
+	if ratio := avr.Schedule.Energy(p) / optE; ratio > AVRBound(2)+1e-9 || ratio < 1-1e-9 {
+		t.Errorf("AVR ratio %v outside [1, %v]", ratio, AVRBound(2))
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	in := quickInstance(t)
+	for name, a := range map[string]Assignment{
+		"random":     RandomAssignment(1),
+		"roundrobin": RoundRobinAssignment(),
+		"leastwork":  LeastWorkAssignment(),
+	} {
+		s, err := NonMigratory(in, a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := Verify(s, in); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	s, err := YDS(quickInstance(t).Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := NewInstance(1, quickInstance(t).Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s, one); err != nil {
+		t.Errorf("YDS: %v", err)
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	names := Workloads()
+	if len(names) < 4 {
+		t.Fatalf("only %d generators", len(names))
+	}
+	for _, n := range names {
+		in, err := GenerateWorkload(n, WorkloadSpec{N: 6, M: 2, Seed: 9})
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if in.N() != 6 {
+			t.Errorf("%s: n = %d", n, in.N())
+		}
+	}
+	if _, err := GenerateWorkload("no-such", WorkloadSpec{N: 1, M: 1}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestPublicBounds(t *testing.T) {
+	if got := OABound(2); math.Abs(got-4) > 1e-12 {
+		t.Errorf("OABound(2) = %v", got)
+	}
+	if got := AVRBound(2); math.Abs(got-9) > 1e-12 {
+		t.Errorf("AVRBound(2) = %v", got)
+	}
+	if _, err := NewAlpha(0.5); err == nil {
+		t.Error("NewAlpha(0.5) accepted")
+	}
+}
