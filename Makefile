@@ -1,0 +1,29 @@
+# Developer entry points. `make verify` is the tier-1 recipe CI and the
+# ROADMAP reference: build + vet + full tests + race over the packages
+# with real concurrency (the observability substrate and flow solvers).
+
+GO ?= go
+
+.PHONY: all build test vet race verify bench clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/obs/... ./internal/flow/...
+
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run xxx .
+
+clean:
+	$(GO) clean ./...

@@ -218,6 +218,39 @@ func BenchmarkE14GeneralConvexProbe(b *testing.B) {
 	}
 }
 
+// Observability overhead: the same solve with the nil no-op recorder
+// (the default) and with metrics collection enabled. The off/on delta
+// bounds what instrumentation costs uninstrumented callers.
+
+func benchRecorderInstance(b *testing.B) *Instance {
+	b.Helper()
+	in, err := GenerateWorkload("uniform", WorkloadSpec{N: 32, M: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+func BenchmarkOptimalScheduleRecorderOff(b *testing.B) {
+	in := benchRecorderInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalSchedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalScheduleRecorderOn(b *testing.B) {
+	in := benchRecorderInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalSchedule(in, WithRecorder(NewRecorder())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Scaling series for the offline optimum (polynomial-time claim of
 // Theorem 1): one benchmark per instance size.
 

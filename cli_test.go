@@ -6,6 +6,7 @@ package mpss
 // out to the go toolchain).
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -82,6 +83,91 @@ func TestCLIPipeline(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(csvDir, "e9.csv")); err != nil {
 		t.Errorf("CSV export missing: %v", err)
+	}
+}
+
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests build binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	gen := buildTool(t, dir, "mpss-gen")
+	opt := buildTool(t, dir, "mpss-opt")
+	sim := buildTool(t, dir, "mpss-sim")
+	bench := buildTool(t, dir, "mpss-bench")
+
+	inst := filepath.Join(dir, "inst.json")
+	runTool(t, gen, "-workload", "bursty", "-n", "8", "-m", "2", "-seed", "3", "-o", inst)
+
+	// readMetrics decodes a -metrics artifact and returns its snapshot.
+	readMetrics := func(path string) Metrics {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("metrics file missing: %v", err)
+		}
+		var m Metrics
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("metrics file is not valid JSON: %v\n%s", err, data)
+		}
+		return m
+	}
+
+	optMetrics := filepath.Join(dir, "opt_metrics.json")
+	out := runTool(t, opt, "-in", inst, "-metrics", optMetrics, "-trace")
+	if !strings.Contains(out, "phase trace:") {
+		t.Errorf("mpss-opt -trace output missing trace tree:\n%s", out)
+	}
+	m := readMetrics(optMetrics)
+	if m.Counters["opt.phases"] < 1 || m.Counters["flow.solves"] < 1 {
+		t.Errorf("mpss-opt metrics counters = %v, want opt.phases and flow.solves >= 1", m.Counters)
+	}
+	if len(m.Trace) == 0 || !strings.HasPrefix(m.Trace[0].Name, "phase") {
+		t.Errorf("mpss-opt metrics trace = %+v, want per-phase spans", m.Trace)
+	}
+
+	for _, alg := range []string{"oa", "avr"} {
+		simMetrics := filepath.Join(dir, alg+"_metrics.json")
+		out = runTool(t, sim, "-in", inst, "-alg", alg, "-alpha", "2", "-trace", "-metrics", simMetrics)
+		if !strings.Contains(out, "summary: "+alg) || !strings.Contains(out, "migrations=") {
+			t.Errorf("mpss-sim %s missing summary line:\n%s", alg, out)
+		}
+		if !strings.Contains(out, "event trace:") {
+			t.Errorf("mpss-sim %s -trace output missing trace tree:\n%s", alg, out)
+		}
+		m = readMetrics(simMetrics)
+		if m.Counters[alg+".speed_recomputations"] < 1 {
+			t.Errorf("mpss-sim %s metrics counters = %v, want %s.speed_recomputations >= 1", alg, m.Counters, alg)
+		}
+	}
+
+	benchMetrics := filepath.Join(dir, "bench_metrics.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out = runTool(t, bench, "-experiment", "e2", "-seeds", "1", "-n", "6",
+		"-metrics", benchMetrics, "-cpuprofile", cpu, "-memprofile", mem)
+	if !strings.Contains(out, "metrics [e2]:") || !strings.Contains(out, "metrics [total]:") {
+		t.Errorf("mpss-bench metrics summary missing:\n%s", out)
+	}
+	var payload struct {
+		Experiments map[string]Metrics `json:"experiments"`
+		Total       Metrics            `json:"total"`
+	}
+	data, err := os.ReadFile(benchMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatalf("bench metrics not valid JSON: %v", err)
+	}
+	if payload.Experiments["e2"].Counters["flow.solves"] < 1 ||
+		payload.Total.Counters["flow.solves"] != payload.Experiments["e2"].Counters["flow.solves"] {
+		t.Errorf("bench metrics payload = %+v", payload)
+	}
+	for _, f := range []string{cpu, mem} {
+		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
+			t.Errorf("profile artifact %s missing/empty: %v", f, err)
+		}
 	}
 }
 

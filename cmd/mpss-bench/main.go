@@ -7,27 +7,43 @@
 //	mpss-bench                     # all experiments, default scale
 //	mpss-bench -experiment e3      # only the OA(m) competitive sweep
 //	mpss-bench -seeds 10 -n 16     # larger sample
+//	mpss-bench -metrics bench_metrics.json   # solver-internal counters
+//	mpss-bench -cpuprofile cpu.pprof         # profile the hot paths
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mpss/internal/bench"
 	"mpss/internal/export"
+	"mpss/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.String("experiment", "all", "which experiment to run: all, e1..e14")
-		seeds  = flag.Int("seeds", 0, "seeds per cell (0 = default)")
-		n      = flag.Int("n", 0, "jobs per instance (0 = default)")
-		csvDir = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+		exp        = flag.String("experiment", "all", "which experiment to run: all, e1..e14")
+		seeds      = flag.Int("seeds", 0, "seeds per cell (0 = default)")
+		n          = flag.Int("n", 0, "jobs per instance (0 = default)")
+		csvDir     = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+		metricsOut = flag.String("metrics", "", "collect per-experiment solver metrics; print summaries and write them as JSON to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (runtime/pprof) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := bench.Defaults()
 	if *seeds > 0 {
@@ -38,9 +54,7 @@ func main() {
 	}
 
 	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			check(err)
-		}
+		check(os.MkdirAll(*csvDir, 0o755))
 	}
 	writeCSV := func(name string, rows interface{}) {
 		if *csvDir == "" {
@@ -52,124 +66,196 @@ func main() {
 		check(export.CSV(f, rows))
 	}
 
-	want := strings.ToLower(*exp)
-	run := func(name string) bool { return want == "all" || want == name }
-	ran := false
+	type experiment struct {
+		name string
+		run  func(cfg bench.Config) error
+	}
+	experiments := []experiment{
+		{"e1", func(cfg bench.Config) error {
+			rows, err := bench.E1(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE1(rows))
+			writeCSV("e1", rows)
+			return bench.E1Check(rows)
+		}},
+		{"e2", func(cfg bench.Config) error {
+			rows, err := bench.E2(cfg, []int{8, 16, 32, 64})
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE2(rows))
+			writeCSV("e2", rows)
+			return nil
+		}},
+		{"e3", func(cfg bench.Config) error {
+			rows, err := bench.E3(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderRatios("E3 — Theorem 2: OA(m) measured ratio vs alpha^alpha", rows))
+			writeCSV("e3", rows)
+			return bench.RatioCheck(rows)
+		}},
+		{"e4", func(cfg bench.Config) error {
+			rows, err := bench.E4(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderRatios("E4 — Theorem 3: AVR(m) measured ratio vs (2a)^a/2+1", rows))
+			writeCSV("e4", rows)
+			return bench.RatioCheck(rows)
+		}},
+		{"e5", func(cfg bench.Config) error {
+			rows, err := bench.E5(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE5(rows))
+			writeCSV("e5", rows)
+			return bench.E5Check(rows)
+		}},
+		{"e6", func(cfg bench.Config) error {
+			rows, err := bench.E6(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE6(rows))
+			writeCSV("e6", rows)
+			return bench.E6Check(rows)
+		}},
+		{"e7", func(cfg bench.Config) error {
+			rows, err := bench.E7(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE7(rows))
+			writeCSV("e7", rows)
+			return bench.E7Check(rows)
+		}},
+		{"e8", func(cfg bench.Config) error {
+			rows, err := bench.E8(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE8(rows))
+			writeCSV("e8", rows)
+			return bench.E8Check(rows)
+		}},
+		{"e9", func(cfg bench.Config) error {
+			rows, err := bench.E9(cfg, []int{4, 8, 16, 32})
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE9(rows))
+			writeCSV("e9", rows)
+			return bench.E9Check(rows)
+		}},
+		{"e10", func(cfg bench.Config) error {
+			rows, err := bench.E10(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE10(rows))
+			writeCSV("e10", rows)
+			return bench.E10Check(rows)
+		}},
+		{"e11", func(cfg bench.Config) error {
+			rows, err := bench.E11(cfg, []int{16, 32, 64, 128})
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE11(rows))
+			writeCSV("e11", rows)
+			return bench.E11Check(rows)
+		}},
+		{"e12", func(cfg bench.Config) error {
+			rows, err := bench.E12(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE12(rows))
+			writeCSV("e12", rows)
+			return bench.E12Check(rows)
+		}},
+		{"e13", func(cfg bench.Config) error {
+			rows, err := bench.E13(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE13(rows))
+			writeCSV("e13", rows)
+			return bench.E13Check(rows)
+		}},
+		{"e14", func(cfg bench.Config) error {
+			rows, err := bench.E14(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderE14(rows))
+			writeCSV("e14", rows)
+			return bench.E14Check(rows)
+		}},
+	}
 
-	if run("e1") {
+	collect := *metricsOut != ""
+	snaps := make(map[string]obs.Snapshot)
+	var order []string
+
+	want := strings.ToLower(*exp)
+	ran := false
+	for _, e := range experiments {
+		if want != "all" && want != e.name {
+			continue
+		}
 		ran = true
-		rows, err := bench.E1(cfg)
-		check(err)
-		fmt.Println(bench.RenderE1(rows))
-		writeCSV("e1", rows)
-		check(bench.E1Check(rows))
-	}
-	if run("e2") {
-		ran = true
-		rows, err := bench.E2(cfg, []int{8, 16, 32, 64})
-		check(err)
-		fmt.Println(bench.RenderE2(rows))
-		writeCSV("e2", rows)
-	}
-	if run("e3") {
-		ran = true
-		rows, err := bench.E3(cfg)
-		check(err)
-		fmt.Println(bench.RenderRatios("E3 — Theorem 2: OA(m) measured ratio vs alpha^alpha", rows))
-		writeCSV("e3", rows)
-		check(bench.RatioCheck(rows))
-	}
-	if run("e4") {
-		ran = true
-		rows, err := bench.E4(cfg)
-		check(err)
-		fmt.Println(bench.RenderRatios("E4 — Theorem 3: AVR(m) measured ratio vs (2a)^a/2+1", rows))
-		writeCSV("e4", rows)
-		check(bench.RatioCheck(rows))
-	}
-	if run("e5") {
-		ran = true
-		rows, err := bench.E5(cfg)
-		check(err)
-		fmt.Println(bench.RenderE5(rows))
-		writeCSV("e5", rows)
-		check(bench.E5Check(rows))
-	}
-	if run("e6") {
-		ran = true
-		rows, err := bench.E6(cfg)
-		check(err)
-		fmt.Println(bench.RenderE6(rows))
-		writeCSV("e6", rows)
-		check(bench.E6Check(rows))
-	}
-	if run("e7") {
-		ran = true
-		rows, err := bench.E7(cfg)
-		check(err)
-		fmt.Println(bench.RenderE7(rows))
-		writeCSV("e7", rows)
-		check(bench.E7Check(rows))
-	}
-	if run("e8") {
-		ran = true
-		rows, err := bench.E8(cfg)
-		check(err)
-		fmt.Println(bench.RenderE8(rows))
-		writeCSV("e8", rows)
-		check(bench.E8Check(rows))
-	}
-	if run("e9") {
-		ran = true
-		rows, err := bench.E9(cfg, []int{4, 8, 16, 32})
-		check(err)
-		fmt.Println(bench.RenderE9(rows))
-		writeCSV("e9", rows)
-		check(bench.E9Check(rows))
-	}
-	if run("e10") {
-		ran = true
-		rows, err := bench.E10(cfg)
-		check(err)
-		fmt.Println(bench.RenderE10(rows))
-		writeCSV("e10", rows)
-		check(bench.E10Check(rows))
-	}
-	if run("e11") {
-		ran = true
-		rows, err := bench.E11(cfg, []int{16, 32, 64, 128})
-		check(err)
-		fmt.Println(bench.RenderE11(rows))
-		writeCSV("e11", rows)
-		check(bench.E11Check(rows))
-	}
-	if run("e12") {
-		ran = true
-		rows, err := bench.E12(cfg)
-		check(err)
-		fmt.Println(bench.RenderE12(rows))
-		writeCSV("e12", rows)
-		check(bench.E12Check(rows))
-	}
-	if run("e13") {
-		ran = true
-		rows, err := bench.E13(cfg)
-		check(err)
-		fmt.Println(bench.RenderE13(rows))
-		writeCSV("e13", rows)
-		check(bench.E13Check(rows))
-	}
-	if run("e14") {
-		ran = true
-		rows, err := bench.E14(cfg)
-		check(err)
-		fmt.Println(bench.RenderE14(rows))
-		writeCSV("e14", rows)
-		check(bench.E14Check(rows))
+		run := cfg
+		if collect {
+			run.Recorder = obs.New()
+		}
+		check(e.run(run))
+		if collect {
+			snap := run.Recorder.Snapshot()
+			// Traces from thousands of solver runs would dominate the
+			// file; the counters and histograms are the per-experiment
+			// payload. Use mpss-opt/mpss-sim -trace for span trees.
+			snap.Trace = nil
+			snaps[e.name] = snap
+			order = append(order, e.name)
+			if len(snap.Counters) > 0 {
+				fmt.Printf("metrics [%s]:\n%s\n", e.name, snap.CounterTable())
+			}
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "mpss-bench: unknown experiment %q (want all or e1..e14)\n", *exp)
 		os.Exit(2)
+	}
+
+	if collect {
+		total := obs.Snapshot{}
+		for _, name := range order {
+			total = total.Merge(snaps[name])
+		}
+		if len(total.Counters) > 0 {
+			fmt.Printf("metrics [total]:\n%s\n", total.CounterTable())
+		}
+		payload := struct {
+			Experiments map[string]obs.Snapshot `json:"experiments"`
+			Total       obs.Snapshot            `json:"total"`
+		}{Experiments: snaps, Total: total}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		check(err)
+		check(os.WriteFile(*metricsOut, append(data, '\n'), 0o644))
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		check(err)
+		runtime.GC()
+		check(pprof.WriteHeapProfile(f))
+		check(f.Close())
 	}
 }
 

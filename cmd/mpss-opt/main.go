@@ -5,6 +5,8 @@
 //
 //	mpss-gen -n 10 -m 3 | mpss-opt -alpha 3 -gantt
 //	mpss-opt -in instance.json -exact -json schedule.json
+//	mpss-opt -in instance.json -metrics metrics.json -trace
+//	mpss-opt -in instance.json -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -13,20 +15,37 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mpss"
 )
 
 func main() {
 	var (
-		inPath  = flag.String("in", "", "instance JSON file (default stdin)")
-		alpha   = flag.Float64("alpha", 3, "power function exponent (P(s) = s^alpha)")
-		exact   = flag.Bool("exact", false, "use exact rational arithmetic for phase decisions")
-		gantt   = flag.Bool("gantt", false, "print an ASCII Gantt chart")
-		jsonOut = flag.String("json", "", "write the schedule as JSON to this file")
-		svgOut  = flag.String("svg", "", "write the schedule as an SVG figure to this file")
+		inPath     = flag.String("in", "", "instance JSON file (default stdin)")
+		alpha      = flag.Float64("alpha", 3, "power function exponent (P(s) = s^alpha)")
+		exact      = flag.Bool("exact", false, "use exact rational arithmetic for phase decisions")
+		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		jsonOut    = flag.String("json", "", "write the schedule as JSON to this file")
+		svgOut     = flag.String("svg", "", "write the schedule as an SVG figure to this file")
+		metricsOut = flag.String("metrics", "", "write solver metrics (counters, histograms, phase spans) as JSON to this file")
+		trace      = flag.Bool("trace", false, "print the solver's phase trace tree")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (runtime/pprof) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	in, err := readInstance(*inPath)
 	if err != nil {
@@ -37,11 +56,15 @@ func main() {
 		fail(err)
 	}
 
+	var rec *mpss.Recorder
+	if *metricsOut != "" || *trace {
+		rec = mpss.NewRecorder()
+	}
 	solve := mpss.OptimalSchedule
 	if *exact {
 		solve = mpss.OptimalScheduleExact
 	}
-	res, err := solve(in)
+	res, err := solve(in, mpss.WithRecorder(rec))
 	if err != nil {
 		fail(err)
 	}
@@ -73,6 +96,36 @@ func main() {
 			fail(err)
 		}
 		if err := mpss.RenderSVG(f, res.Schedule, mpss.SVGOptions{ShowLabels: true}); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *trace {
+		fmt.Print("phase trace:\n" + rec.TraceTree())
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := rec.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
 			f.Close()
 			fail(err)
 		}

@@ -22,12 +22,20 @@ import (
 	"fmt"
 	"strings"
 	"text/tabwriter"
+
+	"mpss/internal/obs"
 )
 
 // Config scales the whole suite. The zero value is replaced by Defaults.
 type Config struct {
 	Seeds int // random seeds per cell
 	N     int // jobs per instance
+
+	// Recorder, when non-nil, collects solver-internal metrics (flow
+	// operation counts, phase structure, online-event counters) from the
+	// experiments that exercise instrumented code paths. cmd/mpss-bench
+	// installs a fresh recorder per experiment and renders the snapshots.
+	Recorder *obs.Recorder
 }
 
 // Defaults returns the configuration used by EXPERIMENTS.md.

@@ -53,6 +53,12 @@ func E11(cfg Config, sizes []int) ([]E11Row, error) {
 			}
 			dv := dg.MaxFlow(0, net.vertices-1)
 			row.DinicNanos += time.Since(t0).Nanoseconds()
+			dops := dg.Ops()
+			rec := cfg.Recorder
+			rec.Add("flow.solves", 2)
+			rec.Add("flow.dinic.bfs_passes", dops.BFSPasses)
+			rec.Add("flow.dinic.aug_paths", dops.AugPaths)
+			rec.Add("flow.dinic.edges_scanned", dops.EdgesScanned)
 
 			t1 := time.Now()
 			pg := flow.NewPRGraph(net.vertices)
@@ -61,6 +67,11 @@ func E11(cfg Config, sizes []int) ([]E11Row, error) {
 			}
 			pv := pg.MaxFlow(0, net.vertices-1)
 			row.PRNanos += time.Since(t1).Nanoseconds()
+			pops := pg.Ops()
+			rec.Add("flow.pr.pushes", pops.Pushes)
+			rec.Add("flow.pr.relabels", pops.Relabels)
+			rec.Add("flow.pr.gap_firings", pops.GapFirings)
+			rec.Add("flow.pr.discharges", pops.Discharges)
 
 			if math.Abs(dv-pv) > 1e-6*(1+dv) {
 				row.Agree = false
@@ -74,6 +85,10 @@ func E11(cfg Config, sizes []int) ([]E11Row, error) {
 				}
 				rvRat := rg.MaxFlow(0, net.vertices-1)
 				row.ExactNanos += time.Since(t2).Nanoseconds()
+				rops := rg.Ops()
+				rec.Add("flow.exact.bfs_passes", rops.BFSPasses)
+				rec.Add("flow.exact.aug_paths", rops.AugPaths)
+				rec.Add("flow.exact.edges_scanned", rops.EdgesScanned)
 				rv, _ := rvRat.Float64()
 				if math.Abs(dv-rv) > 1e-6*(1+dv) {
 					row.Agree = false

@@ -28,7 +28,7 @@ type RatioRow struct {
 // including the common-deadline gadget that stresses the replanning.
 func E3(cfg Config) ([]RatioRow, error) {
 	runOA := func(in ratioInstance) (float64, error) {
-		r, err := online.OA(in.in)
+		r, err := online.OA(in.in, online.WithRecorder(cfg.Recorder))
 		if err != nil {
 			return 0, err
 		}
@@ -71,7 +71,7 @@ func E3(cfg Config) ([]RatioRow, error) {
 // nested-deadline gadget.
 func E4(cfg Config) ([]RatioRow, error) {
 	rows, err := ratioSweep(cfg, "AVR", func(in ratioInstance) (float64, error) {
-		r, err := online.AVR(in.in)
+		r, err := online.AVR(in.in, online.WithRecorder(cfg.Recorder))
 		if err != nil {
 			return 0, err
 		}

@@ -29,13 +29,33 @@ type edge struct {
 	rev  int     // index of the reverse edge in adj[to]
 }
 
+// DinicOps counts the elementary operations of a Dinic max-flow run,
+// for the observability layer (internal/obs) and the E11 ablation. The
+// counts accumulate across MaxFlow calls on the same graph.
+type DinicOps struct {
+	BFSPasses    int64 // level-graph constructions
+	AugPaths     int64 // augmenting paths pushed
+	EdgesScanned int64 // residual edges examined in BFS and DFS
+}
+
+// Add accumulates o into d (for aggregating over many solves).
+func (d *DinicOps) Add(o DinicOps) {
+	d.BFSPasses += o.BFSPasses
+	d.AugPaths += o.AugPaths
+	d.EdgesScanned += o.EdgesScanned
+}
+
 // Graph is a flow network over float64 capacities. The zero value is not
 // usable; construct with NewGraph.
 type Graph struct {
 	adj    [][]edge
 	maxCap float64
 	tol    float64 // absolute tolerance; derived lazily from maxCap
+	ops    DinicOps
 }
+
+// Ops returns the operation counts accumulated by MaxFlow so far.
+func (g *Graph) Ops() DinicOps { return g.ops }
 
 // NewGraph returns an empty flow network with n vertices numbered 0..n-1.
 func NewGraph(n int) *Graph {
@@ -112,7 +132,12 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 	iter := make([]int, n)
 	queue := make([]int, 0, n)
 
+	// Local op tallies, flushed to g.ops once at the end so the inner
+	// loops touch only registers.
+	var bfsPasses, augPaths, edgesScanned int64
+
 	bfs := func() bool {
+		bfsPasses++
 		for i := range level {
 			level[i] = -1
 		}
@@ -122,6 +147,7 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
+			edgesScanned += int64(len(g.adj[v]))
 			for _, e := range g.adj[v] {
 				if e.cap > tol && level[e.to] < 0 {
 					level[e.to] = level[v] + 1
@@ -138,6 +164,7 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 			return f
 		}
 		for ; iter[v] < len(g.adj[v]); iter[v]++ {
+			edgesScanned++
 			e := &g.adj[v][iter[v]]
 			if e.cap > tol && level[v] < level[e.to] {
 				d := dfs(e.to, math.Min(f, e.cap))
@@ -161,9 +188,11 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 			if f <= 0 {
 				break
 			}
+			augPaths++
 			total += f
 		}
 	}
+	g.ops.Add(DinicOps{BFSPasses: bfsPasses, AugPaths: augPaths, EdgesScanned: edgesScanned})
 	return total
 }
 

@@ -15,7 +15,29 @@ type PRGraph struct {
 	adj    [][]edge
 	maxCap float64
 	tol    float64
+	ops    PROps
 }
+
+// PROps counts the elementary operations of a push-relabel run, for the
+// observability layer and the E11 ablation. Counts accumulate across
+// MaxFlow calls on the same graph.
+type PROps struct {
+	Pushes     int64 // saturating and non-saturating pushes
+	Relabels   int64 // height increases
+	GapFirings int64 // gap-heuristic activations
+	Discharges int64 // vertices discharged off the FIFO queue
+}
+
+// Add accumulates o into p (for aggregating over many solves).
+func (p *PROps) Add(o PROps) {
+	p.Pushes += o.Pushes
+	p.Relabels += o.Relabels
+	p.GapFirings += o.GapFirings
+	p.Discharges += o.Discharges
+}
+
+// Ops returns the operation counts accumulated by MaxFlow so far.
+func (g *PRGraph) Ops() PROps { return g.ops }
 
 // NewPRGraph returns an empty push-relabel network with n vertices.
 func NewPRGraph(n int) *PRGraph {
@@ -82,7 +104,10 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 	inQueue := make([]bool, n)
 	queue := make([]int, 0, n)
 
+	var pushes, relabels, gapFirings, discharges int64
+
 	push := func(v int, e *edge) {
+		pushes++
 		d := math.Min(excess[v], e.cap)
 		e.cap -= d
 		g.adj[e.to][e.rev].cap += d
@@ -114,11 +139,13 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 			}
 		}
 		if minH < 2*n {
+			relabels++
 			count[height[v]]--
 			// Gap heuristic: if v was the last vertex at its height and
 			// that height is below n, every vertex above the gap (and
 			// below n) can be lifted past n immediately.
 			if count[height[v]] == 0 && height[v] < n {
+				gapFirings++
 				gap := height[v]
 				for u := range height {
 					if u != s && gap < height[u] && height[u] < n {
@@ -162,7 +189,9 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 		v := queue[0]
 		queue = queue[1:]
 		inQueue[v] = false
+		discharges++
 		discharge(v)
 	}
+	g.ops.Add(PROps{Pushes: pushes, Relabels: relabels, GapFirings: gapFirings, Discharges: discharges})
 	return excess[t]
 }

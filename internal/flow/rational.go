@@ -11,7 +11,11 @@ import (
 // offline optimum in exact mode on rational inputs.
 type RatGraph struct {
 	adj [][]ratEdge
+	ops DinicOps
 }
+
+// Ops returns the Dinic operation counts accumulated by MaxFlow so far.
+func (g *RatGraph) Ops() DinicOps { return g.ops }
 
 type ratEdge struct {
 	to   int
@@ -75,7 +79,10 @@ func (g *RatGraph) MaxFlow(s, t int) *big.Rat {
 	iter := make([]int, n)
 	queue := make([]int, 0, n)
 
+	var bfsPasses, augPaths, edgesScanned int64
+
 	bfs := func() bool {
+		bfsPasses++
 		for i := range level {
 			level[i] = -1
 		}
@@ -85,6 +92,7 @@ func (g *RatGraph) MaxFlow(s, t int) *big.Rat {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
+			edgesScanned += int64(len(g.adj[v]))
 			for _, e := range g.adj[v] {
 				if e.cap.Sign() > 0 && level[e.to] < 0 {
 					level[e.to] = level[v] + 1
@@ -102,6 +110,7 @@ func (g *RatGraph) MaxFlow(s, t int) *big.Rat {
 			return new(big.Rat).Set(f)
 		}
 		for ; iter[v] < len(g.adj[v]); iter[v]++ {
+			edgesScanned++
 			e := &g.adj[v][iter[v]]
 			if e.cap.Sign() > 0 && level[v] < level[e.to] {
 				push := e.cap
@@ -137,8 +146,10 @@ func (g *RatGraph) MaxFlow(s, t int) *big.Rat {
 			if d == nil || d.Sign() == 0 {
 				break
 			}
+			augPaths++
 			total.Add(total, d)
 		}
 	}
+	g.ops.Add(DinicOps{BFSPasses: bfsPasses, AugPaths: augPaths, EdgesScanned: edgesScanned})
 	return total
 }

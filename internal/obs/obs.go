@@ -1,0 +1,475 @@
+// Package obs is the zero-dependency observability substrate of the
+// reproduction: named atomic counters, value/duration histograms
+// summarized through internal/stats, and a hierarchical span tracer that
+// records the phase structure of a solver run.
+//
+// The package is designed so that uninstrumented callers pay essentially
+// nothing: every API is safe on a nil *Recorder (and on the nil *Span
+// and *Counter handles a nil recorder returns), so the hot paths carry a
+// single pointer comparison when observability is off. Solvers keep
+// their innermost-loop tallies in plain local integers and publish them
+// to the Recorder once per solve, so even an enabled recorder stays off
+// the critical path.
+//
+// Typical use:
+//
+//	rec := obs.New()
+//	res, err := opt.Schedule(in, opt.WithRecorder(rec))
+//	rec.WriteJSON(os.Stdout)     // machine-readable snapshot
+//	fmt.Print(rec.TraceTree())   // human-readable phase tree
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpss/internal/stats"
+)
+
+// Counter is a monotonically adjustable atomic counter. All methods are
+// safe on a nil receiver (no-ops / zero), so handles obtained from a nil
+// Recorder can be used unconditionally.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram accumulates float64 observations (typically durations in
+// seconds) and summarizes them through internal/stats. Safe for
+// concurrent use; all methods are no-ops on a nil receiver.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+}
+
+// Observe appends one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed so far.
+func (h *Histogram) Count() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Summary computes the distributional summary of the samples. It returns
+// an error on an empty histogram (matching stats.Summarize).
+func (h *Histogram) Summary() (stats.Summary, error) {
+	if h == nil {
+		return stats.Summary{}, fmt.Errorf("obs: nil histogram")
+	}
+	h.mu.Lock()
+	sample := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	return stats.Summarize(sample)
+}
+
+// Span is one node of the hierarchical trace: a named region of a solver
+// run with a wall-clock duration, integer counters, float-valued
+// attributes and child spans. Spans are created with StartSpan and
+// closed with End; a span never explicitly ended is closed at snapshot
+// time. All methods are safe on a nil receiver.
+type Span struct {
+	rec   *Recorder
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	counters map[string]int64
+	values   map[string]float64
+	children []*Span
+}
+
+// StartSpan opens a child span under s.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{rec: s.rec, name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// Recorder returns the recorder this span records into (nil on a nil
+// span), so instrumented layers can reach shared counters through the
+// span they were handed.
+func (s *Span) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+// Add increments a per-span counter.
+func (s *Span) Add(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64, 4)
+	}
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// SetValue records a float-valued attribute (e.g. the critical speed of
+// a phase).
+func (s *Span) SetValue(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.values == nil {
+		s.values = make(map[string]float64, 4)
+	}
+	s.values[name] = v
+	s.mu.Unlock()
+}
+
+// End closes the span. Calling End more than once keeps the first end
+// time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Recorder collects named counters, histograms and a trace tree for one
+// solver run (or one experiment). The zero value is not usable; construct
+// with New. A nil *Recorder is the no-op default: every method returns
+// immediately, so instrumented code needs no conditional plumbing.
+//
+// Counter handles are atomic and histogram/span updates take a mutex, so
+// a Recorder may be shared by concurrent solver goroutines.
+type Recorder struct {
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	root     *Span
+}
+
+// New returns an empty enabled recorder.
+func New() *Recorder {
+	now := time.Now()
+	r := &Recorder{
+		start:    now,
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+	r.root = &Span{rec: r, name: "root", start: now}
+	return r
+}
+
+// Enabled reports whether the recorder actually records (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Counter returns the named counter, creating it on first use. On a nil
+// recorder it returns a nil handle whose methods are no-ops.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by delta.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.Counter(name).Add(delta)
+}
+
+// Value returns the current value of the named counter (0 if absent or
+// on a nil recorder).
+func (r *Recorder) Value(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.counters[name]
+	r.mu.Unlock()
+	return c.Value()
+}
+
+// Histogram returns the named histogram, creating it on first use (nil
+// handle on a nil recorder).
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Observe appends one sample to the named histogram.
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.Histogram(name).Observe(v)
+}
+
+var noopStop = func() {}
+
+// Time starts a wall-clock timer; the returned function stops it and
+// records the elapsed seconds in the named histogram. On a nil recorder
+// the returned function does nothing and no clock is read.
+func (r *Recorder) Time(name string) func() {
+	if r == nil {
+		return noopStop
+	}
+	t0 := time.Now()
+	return func() { r.Observe(name, time.Since(t0).Seconds()) }
+}
+
+// Root returns the implicit root span (nil on a nil recorder).
+func (r *Recorder) Root() *Span {
+	if r == nil {
+		return nil
+	}
+	return r.root
+}
+
+// StartSpan opens a new top-level span under the root.
+func (r *Recorder) StartSpan(name string) *Span { return r.Root().StartSpan(name) }
+
+// SpanSnapshot is the exported form of one trace node.
+type SpanSnapshot struct {
+	Name     string             `json:"name"`
+	Seconds  float64            `json:"seconds"`
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Values   map[string]float64 `json:"values,omitempty"`
+	Children []SpanSnapshot     `json:"children,omitempty"`
+}
+
+// Snapshot is a point-in-time export of everything a Recorder holds:
+// the counter map, per-histogram summaries, and the span tree. It is the
+// machine-readable unit the CLIs write as JSON (mpss.Metrics aliases it).
+type Snapshot struct {
+	WallSeconds float64                  `json:"wall_seconds"`
+	Counters    map[string]int64         `json:"counters"`
+	Histograms  map[string]stats.Summary `json:"histograms,omitempty"`
+	Trace       []SpanSnapshot           `json:"trace,omitempty"`
+}
+
+// Snapshot exports the recorder's current state. Open spans are reported
+// with their duration up to now. A nil recorder yields a zero Snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	now := time.Now()
+	snap := Snapshot{
+		WallSeconds: now.Sub(r.start).Seconds(),
+		Counters:    make(map[string]int64),
+		Histograms:  make(map[string]stats.Summary),
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	root := r.root
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, h := range hists {
+		if sum, err := h.Summary(); err == nil {
+			snap.Histograms[name] = sum
+		}
+	}
+	snap.Trace = snapshotChildren(root, now)
+	return snap
+}
+
+func snapshotChildren(s *Span, now time.Time) []SpanSnapshot {
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	out := make([]SpanSnapshot, 0, len(children))
+	for _, c := range children {
+		out = append(out, snapshotSpan(c, now))
+	}
+	return out
+}
+
+func snapshotSpan(s *Span, now time.Time) SpanSnapshot {
+	s.mu.Lock()
+	end := s.end
+	if end.IsZero() {
+		end = now
+	}
+	ss := SpanSnapshot{
+		Name:    s.name,
+		Seconds: end.Sub(s.start).Seconds(),
+	}
+	if len(s.counters) > 0 {
+		ss.Counters = make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			ss.Counters[k] = v
+		}
+	}
+	if len(s.values) > 0 {
+		ss.Values = make(map[string]float64, len(s.values))
+		for k, v := range s.values {
+			ss.Values[k] = v
+		}
+	}
+	s.mu.Unlock()
+	ss.Children = snapshotChildren(s, now)
+	return ss
+}
+
+// WriteJSON writes the Snapshot as indented JSON.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// TraceTree renders the span tree as an indented human-readable listing,
+// one line per span with its duration, counters and values.
+func (r *Recorder) TraceTree() string { return r.Snapshot().TraceTree() }
+
+// TraceTree renders the snapshot's span tree.
+func (s Snapshot) TraceTree() string {
+	var b strings.Builder
+	for _, sp := range s.Trace {
+		renderSpan(&b, sp, 0)
+	}
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s SpanSnapshot, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s  [%.3fms]", s.Name, s.Seconds*1e3)
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Fprintf(b, "  %s=%d", k, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Values) {
+		fmt.Fprintf(b, "  %s=%.6g", k, s.Values[k])
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		renderSpan(b, c, depth+1)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CounterTable renders the snapshot's counters as aligned "name value"
+// lines in sorted order — the per-experiment summary mpss-bench prints.
+func (s Snapshot) CounterTable() string {
+	keys := sortedKeys(s.Counters)
+	width := 0
+	for _, k := range keys {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-*s %d\n", width, k, s.Counters[k])
+	}
+	return b.String()
+}
+
+// Merge combines two snapshots: counters are summed, histogram summaries
+// are pooled with stats.Merge, and the trace trees are concatenated.
+// Used to aggregate per-experiment metrics into a suite total.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{
+		WallSeconds: s.WallSeconds + o.WallSeconds,
+		Counters:    make(map[string]int64, len(s.Counters)+len(o.Counters)),
+		Histograms:  make(map[string]stats.Summary, len(s.Histograms)+len(o.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range o.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = v
+	}
+	for k, v := range o.Histograms {
+		out.Histograms[k] = stats.Merge(out.Histograms[k], v)
+	}
+	out.Trace = append(append([]SpanSnapshot(nil), s.Trace...), o.Trace...)
+	return out
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+}
+
+func TestNilHandlesAreNoops(t *testing.T) {
+	// Everything a nil recorder hands out must be usable without panics
+	// and without recording anything.
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports Enabled")
+	}
+	r.Add("x", 1)
+	r.Observe("h", 1.5)
+	r.Time("t")()
+	r.Counter("x").Inc()
+	r.Histogram("h").Observe(2)
+	if got := r.Value("x"); got != 0 {
+		t.Errorf("nil recorder Value = %d, want 0", got)
+	}
+	if n := r.Histogram("h").Count(); n != 0 {
+		t.Errorf("nil histogram Count = %d, want 0", n)
+	}
+	if _, err := r.Histogram("h").Summary(); err == nil {
+		t.Error("nil histogram Summary succeeded, want error")
+	}
+
+	sp := r.StartSpan("phase")
+	if sp != nil {
+		t.Fatalf("nil recorder StartSpan = %v, want nil", sp)
+	}
+	sp.Add("k", 1)
+	sp.SetValue("v", 2)
+	sp.End()
+	if child := sp.StartSpan("sub"); child != nil {
+		t.Errorf("nil span StartSpan = %v, want nil", child)
+	}
+	if rec := sp.Recorder(); rec != nil {
+		t.Errorf("nil span Recorder = %v, want nil", rec)
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Trace) != 0 {
+		t.Errorf("nil recorder snapshot not empty: %+v", snap)
+	}
+}
+
+func TestRecorderCountersAndHistograms(t *testing.T) {
+	r := New()
+	r.Add("solves", 2)
+	r.Counter("solves").Inc()
+	if got := r.Value("solves"); got != 3 {
+		t.Errorf("solves = %d, want 3", got)
+	}
+	if got := r.Value("absent"); got != 0 {
+		t.Errorf("absent counter = %d, want 0", got)
+	}
+
+	for _, v := range []float64{1, 2, 3, 4} {
+		r.Observe("lat", v)
+	}
+	sum, err := r.Histogram("lat").Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != 4 || math.Abs(sum.Mean-2.5) > 1e-12 {
+		t.Errorf("histogram summary = %+v, want N=4 mean=2.5", sum)
+	}
+
+	stop := r.Time("elapsed")
+	stop()
+	if n := r.Histogram("elapsed").Count(); n != 1 {
+		t.Errorf("Time recorded %d samples, want 1", n)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	r := New()
+	phase := r.StartSpan("phase 1")
+	phase.Add("flow_calls", 1)
+	phase.Add("flow_calls", 1)
+	phase.SetValue("speed", 2.5)
+	if phase.Recorder() != r {
+		t.Error("span does not reach back to its recorder")
+	}
+	sub := phase.StartSpan("probe")
+	sub.End()
+	phase.End()
+	phase.End() // second End must keep the first end time
+
+	snap := r.Snapshot()
+	if len(snap.Trace) != 1 {
+		t.Fatalf("trace has %d roots, want 1", len(snap.Trace))
+	}
+	p := snap.Trace[0]
+	if p.Name != "phase 1" || p.Counters["flow_calls"] != 2 || p.Values["speed"] != 2.5 {
+		t.Errorf("span snapshot = %+v", p)
+	}
+	if len(p.Children) != 1 || p.Children[0].Name != "probe" {
+		t.Errorf("children = %+v, want one child 'probe'", p.Children)
+	}
+	if p.Seconds < 0 {
+		t.Errorf("span duration negative: %v", p.Seconds)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Add("a", 1)
+	r.Observe("h", 2)
+	r.StartSpan("s").End()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Counters["a"] != 1 || len(got.Trace) != 1 || got.Trace[0].Name != "s" {
+		t.Errorf("round-tripped snapshot = %+v", got)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := New()
+	a.Add("x", 1)
+	a.Add("y", 2)
+	a.Observe("h", 1)
+	a.StartSpan("ra").End()
+	b := New()
+	b.Add("x", 10)
+	b.Observe("h", 3)
+	b.StartSpan("rb").End()
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Counters["x"] != 11 || m.Counters["y"] != 2 {
+		t.Errorf("merged counters = %v", m.Counters)
+	}
+	h := m.Histograms["h"]
+	if h.N != 2 || math.Abs(h.Mean-2) > 1e-12 {
+		t.Errorf("merged histogram = %+v, want N=2 mean=2", h)
+	}
+	if len(m.Trace) != 2 || m.Trace[0].Name != "ra" || m.Trace[1].Name != "rb" {
+		t.Errorf("merged trace = %+v", m.Trace)
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	r := New()
+	r.Add("flow.solves", 7)
+	r.Add("opt.phases", 2)
+	sp := r.StartSpan("phase 1")
+	sp.Add("jobs", 3)
+	sp.SetValue("speed", 1.5)
+	sp.StartSpan("probe").End()
+	sp.End()
+
+	tree := r.TraceTree()
+	if !strings.Contains(tree, "phase 1") || !strings.Contains(tree, "jobs=3") ||
+		!strings.Contains(tree, "speed=1.5") || !strings.Contains(tree, "  probe") {
+		t.Errorf("TraceTree missing expected content:\n%s", tree)
+	}
+
+	table := r.Snapshot().CounterTable()
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "flow.solves") || !strings.Contains(lines[1], "opt.phases") {
+		t.Errorf("CounterTable not sorted/complete:\n%s", table)
+	}
+}
+
+// TestConcurrent hammers one recorder from many goroutines; its real
+// assertion is `go test -race` staying quiet, plus the exact totals.
+func TestConcurrent(t *testing.T) {
+	r := New()
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sp := r.StartSpan("worker")
+			for i := 0; i < iters; i++ {
+				r.Add("ops", 1)
+				r.Observe("lat", float64(i))
+				sp.Add("local", 1)
+				if i%100 == 0 {
+					r.Snapshot() // concurrent reads must be safe too
+				}
+			}
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Value("ops"); got != workers*iters {
+		t.Errorf("ops = %d, want %d", got, workers*iters)
+	}
+	snap := r.Snapshot()
+	if len(snap.Trace) != workers {
+		t.Errorf("trace has %d worker spans, want %d", len(snap.Trace), workers)
+	}
+	for _, sp := range snap.Trace {
+		if sp.Counters["local"] != iters {
+			t.Errorf("worker span local = %d, want %d", sp.Counters["local"], iters)
+		}
+	}
+}

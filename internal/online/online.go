@@ -31,10 +31,52 @@ import (
 	"sort"
 
 	"mpss/internal/job"
+	"mpss/internal/obs"
 	"mpss/internal/opt"
 	"mpss/internal/schedule"
 	"mpss/internal/yds"
 )
+
+// Option configures the online simulators.
+type Option func(*config)
+
+type config struct {
+	rec *obs.Recorder
+}
+
+// WithRecorder attaches an observability recorder: OA(m) and AVR(m)
+// record per-event spans (arrivals, live jobs, replanning phase
+// structure) and whole-run counters (arrivals processed, speed
+// recomputations, preemptions, migrations) into it. A nil recorder is
+// the no-op default.
+func WithRecorder(r *obs.Recorder) Option {
+	return func(c *config) { c.rec = r }
+}
+
+func buildConfig(opts []Option) config {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// publishRunMetrics folds the executed schedule's descriptive metrics
+// into the run span and the recorder's prefixed counters. It normalizes
+// the schedule (ComputeMetrics does) — callers already normalize anyway.
+func publishRunMetrics(rec *obs.Recorder, run *obs.Span, prefix string, s *schedule.Schedule) {
+	if !rec.Enabled() {
+		return
+	}
+	m := s.ComputeMetrics()
+	rec.Add(prefix+".migrations", int64(m.Migrations))
+	rec.Add(prefix+".preemptions", int64(m.Preemptions))
+	rec.Add(prefix+".segments", int64(m.Segments))
+	run.Add("migrations", int64(m.Migrations))
+	run.Add("preemptions", int64(m.Preemptions))
+	run.SetValue("max_speed", m.MaxSpeed)
+	run.SetValue("utilization", m.Utilization)
+}
 
 // OAEvent records one replanning step of OA(m): the arrival time, the jobs
 // that were live, and the plan the algorithm will follow from here.
@@ -54,7 +96,10 @@ type OAResult struct {
 }
 
 // OA runs Optimal Available on m parallel processors.
-func OA(in *job.Instance) (*OAResult, error) {
+func OA(in *job.Instance, opts ...Option) (*OAResult, error) {
+	cfg := buildConfig(opts)
+	rec := cfg.rec
+	run := rec.StartSpan("OA")
 	// Event times: distinct release times, ascending.
 	releases := make([]float64, 0, in.N())
 	for _, j := range in.Jobs {
@@ -93,15 +138,20 @@ func OA(in *job.Instance) (*OAResult, error) {
 		if len(live) == 0 {
 			continue
 		}
+		ev := run.StartSpan(fmt.Sprintf("arrival t=%g", t0))
+		ev.Add("live_jobs", int64(len(live)))
+		rec.Add("oa.arrivals", 1)
 		sub, err := job.NewInstance(in.M, live)
 		if err != nil {
 			return nil, fmt.Errorf("online: OA replan at %g: %w", t0, err)
 		}
-		plan, err := opt.Schedule(sub)
+		plan, err := opt.Schedule(sub, opt.WithRecorder(rec), opt.UnderSpan(ev))
 		if err != nil {
 			return nil, fmt.Errorf("online: OA replan at %g: %w", t0, err)
 		}
 		res.Replans++
+		rec.Add("oa.replans", 1)
+		rec.Add("oa.speed_recomputations", 1)
 
 		speeds := make(map[int]float64, len(live))
 		for _, ph := range plan.Phases {
@@ -134,9 +184,23 @@ func OA(in *job.Instance) (*OAResult, error) {
 				remaining[id] = math.Max(0, remaining[id]-done)
 			}
 		}
+		if rec.Enabled() {
+			// Highest planned speed at this event: the first phase of the
+			// replanned optimum carries the critical speed.
+			var maxSpeed float64
+			for _, s := range speeds {
+				maxSpeed = math.Max(maxSpeed, s)
+			}
+			ev.SetValue("max_speed", maxSpeed)
+			ev.Add("executed_segments", int64(len(executed.Segments)))
+		}
+		ev.End()
 	}
 
 	res.Schedule.Normalize()
+	run.Add("arrivals", int64(len(res.Events)))
+	publishRunMetrics(rec, run, "oa", res.Schedule)
+	run.End()
 	return res, nil
 }
 
@@ -155,7 +219,10 @@ type AVRResult struct {
 }
 
 // AVR runs Average Rate on m parallel processors.
-func AVR(in *job.Instance) (*AVRResult, error) {
+func AVR(in *job.Instance, opts ...Option) (*AVRResult, error) {
+	cfg := buildConfig(opts)
+	rec := cfg.rec
+	run := rec.StartSpan("AVR")
 	ivs := job.Partition(in.Jobs)
 	res := &AVRResult{Schedule: schedule.New(in.M)}
 
@@ -169,6 +236,10 @@ func AVR(in *job.Instance) (*AVRResult, error) {
 		if len(active) == 0 {
 			continue
 		}
+		ev := run.StartSpan(fmt.Sprintf("interval [%g,%g)", iv.Start, iv.End))
+		ev.Add("active_jobs", int64(len(active)))
+		rec.Add("avr.intervals", 1)
+		rec.Add("avr.speed_recomputations", 1)
 		// Highest density first so the peel loop is a prefix scan.
 		sort.Slice(active, func(a, b int) bool {
 			da, db := active[a].Density(), active[b].Density()
@@ -228,10 +299,18 @@ func AVR(in *job.Instance) (*AVRResult, error) {
 				res.Schedule.Add(s)
 			}
 		}
+		rec.Add("avr.dedicated_jobs", int64(len(level.Dedicated)))
+		ev.Add("dedicated_jobs", int64(len(level.Dedicated)))
+		ev.Add("pool_jobs", int64(len(active)-len(level.Dedicated)))
+		ev.SetValue("pool_speed", level.PoolSpeed)
+		ev.End()
 		res.Levels = append(res.Levels, level)
 	}
 
 	res.Schedule.Normalize()
+	run.Add("intervals", int64(len(res.Levels)))
+	publishRunMetrics(rec, run, "avr", res.Schedule)
+	run.End()
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"mpss/internal/job"
+	"mpss/internal/obs"
 	"mpss/internal/opt"
 	"mpss/internal/schedule"
 )
@@ -27,7 +28,13 @@ type Planner struct {
 	executed *schedule.Schedule
 	live     map[int]liveJob
 	replans  int
+	rec      *obs.Recorder
 }
+
+// SetRecorder attaches an observability recorder: arrivals, replans and
+// admission-control probes are counted, and each replan's phase
+// structure is traced. A nil recorder disables recording.
+func (p *Planner) SetRecorder(r *obs.Recorder) { p.rec = r }
 
 type liveJob struct {
 	deadline  float64
@@ -101,6 +108,7 @@ func (p *Planner) Arrive(t float64, jobs ...job.Job) error {
 		}
 		p.live[j.ID] = liveJob{deadline: j.Deadline, work: j.Work, remaining: j.Work}
 	}
+	p.rec.Add("planner.arrivals", int64(len(jobs)))
 	return p.replan()
 }
 
@@ -158,7 +166,8 @@ func (p *Planner) CanAdmit(cap float64, cand job.Job) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return opt.FeasibleAtSpeed(sub, cap)
+	p.rec.Add("planner.admission_probes", 1)
+	return opt.FeasibleAtSpeedObserved(sub, cap, p.rec)
 }
 
 // replan recomputes the optimal schedule for the live jobs from p.now.
@@ -179,11 +188,15 @@ func (p *Planner) replan() error {
 	if err != nil {
 		return err
 	}
-	res, err := opt.Schedule(sub)
+	span := p.rec.StartSpan(fmt.Sprintf("replan t=%g", p.now))
+	span.Add("live_jobs", int64(len(jobs)))
+	res, err := opt.Schedule(sub, opt.WithRecorder(p.rec), opt.UnderSpan(span))
+	span.End()
 	if err != nil {
 		return err
 	}
 	p.plan = res.Schedule
 	p.replans++
+	p.rec.Add("planner.replans", 1)
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"mpss/internal/flow"
 	"mpss/internal/job"
+	"mpss/internal/obs"
 )
 
 // FeasibleAtSpeed reports whether the instance can be completed when every
@@ -16,9 +17,17 @@ import (
 // to interval edges |I_j|, interval to sink edges m|I_j| — because any
 // schedule may slow down to exactly s wherever it runs faster.
 func FeasibleAtSpeed(in *job.Instance, s float64) (bool, error) {
+	return FeasibleAtSpeedObserved(in, s, nil)
+}
+
+// FeasibleAtSpeedObserved is FeasibleAtSpeed with each probe counted in
+// the recorder ("opt.feasibility_probes", plus the flow-solver op
+// counters). A nil recorder makes it identical to FeasibleAtSpeed.
+func FeasibleAtSpeedObserved(in *job.Instance, s float64, rec *obs.Recorder) (bool, error) {
 	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
 		return false, fmt.Errorf("opt: invalid speed cap %v", s)
 	}
+	rec.Add("opt.feasibility_probes", 1)
 	ivs := job.Partition(in.Jobs)
 
 	node := 1 + in.N()
@@ -49,7 +58,10 @@ func FeasibleAtSpeed(in *job.Instance, s float64) (bool, error) {
 		g.AddEdge(ivNode[jx], sink, float64(in.M)*iv.Len())
 	}
 
+	stop := rec.Time("opt.flow_solve_seconds")
 	value := g.MaxFlow(0, sink)
+	stop()
+	publishDinic(rec, nil, g.Ops())
 	return value >= demand-1e-9*math.Max(1, demand), nil
 }
 
@@ -60,15 +72,21 @@ func FeasibleAtSpeed(in *job.Instance, s float64) (bool, error) {
 // bracket; the function then bisects FeasibleAtSpeed to within rel
 // relative tolerance (default 1e-9 when rel <= 0).
 func MinFeasibleCap(in *job.Instance, rel float64) (float64, error) {
+	return MinFeasibleCapObserved(in, rel, nil)
+}
+
+// MinFeasibleCapObserved is MinFeasibleCap with every bisection probe
+// counted in the recorder.
+func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder) (float64, error) {
 	if rel <= 0 {
 		rel = 1e-9
 	}
-	res, err := Schedule(in)
+	res, err := Schedule(in, WithRecorder(rec))
 	if err != nil {
 		return 0, err
 	}
 	hi := res.Phases[0].Speed * (1 + 1e-9)
-	ok, err := FeasibleAtSpeed(in, hi)
+	ok, err := FeasibleAtSpeedObserved(in, hi, rec)
 	if err != nil {
 		return 0, err
 	}
@@ -76,7 +94,7 @@ func MinFeasibleCap(in *job.Instance, rel float64) (float64, error) {
 		// The unbounded optimum's top speed must be feasible; tolerate
 		// rounding by nudging upward.
 		hi *= 1 + 1e-6
-		if ok, err = FeasibleAtSpeed(in, hi); err != nil || !ok {
+		if ok, err = FeasibleAtSpeedObserved(in, hi, rec); err != nil || !ok {
 			return 0, fmt.Errorf("opt: optimum speed %v not feasible as cap (numerical)", hi)
 		}
 	}
@@ -86,7 +104,7 @@ func MinFeasibleCap(in *job.Instance, rel float64) (float64, error) {
 		if mid <= 0 {
 			break
 		}
-		ok, err := FeasibleAtSpeed(in, mid)
+		ok, err := FeasibleAtSpeedObserved(in, mid, rec)
 		if err != nil {
 			return 0, err
 		}

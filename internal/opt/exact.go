@@ -6,6 +6,7 @@ import (
 
 	"mpss/internal/flow"
 	"mpss/internal/job"
+	"mpss/internal/obs"
 	"mpss/internal/schedule"
 )
 
@@ -13,7 +14,7 @@ import (
 // phase decision. float64 inputs are converted losslessly (every finite
 // float64 is a rational), so saturation tests and job removals are exact;
 // only the final segment emission rounds back to float64.
-func exactSolve(in *job.Instance) (*Result, error) {
+func exactSolve(in *job.Instance, rec *obs.Recorder, parent *obs.Span) (*Result, error) {
 	ivs := job.Partition(in.Jobs)
 	used := make([]int, len(ivs))
 	remaining := make([]int, 0, in.N())
@@ -33,6 +34,8 @@ func exactSolve(in *job.Instance) (*Result, error) {
 	}
 
 	for len(remaining) > 0 {
+		span := parent.StartSpan(fmt.Sprintf("phase %d (exact)", len(res.Phases)+1))
+		span.Add("candidates", int64(len(remaining)))
 		cand := append([]int(nil), remaining...)
 		var (
 			speed *big.Rat
@@ -41,12 +44,15 @@ func exactSolve(in *job.Instance) (*Result, error) {
 		)
 		for {
 			res.Stats.Rounds++
+			rec.Add("opt.rounds", 1)
 			var found bool
 			var removed int
-			found, removed, speed, mj, tkj = exactRound(in, ivs, ivLen, work, used, cand, &res.Stats)
+			found, removed, speed, mj, tkj = exactRound(in, ivs, ivLen, work, used, cand, &res.Stats, rec, span)
 			if found {
 				break
 			}
+			rec.Add("opt.jobs_removed", 1)
+			span.Add("jobs_removed", 1)
 			cand = deleteIndex(cand, removed)
 			if len(cand) == 0 {
 				return nil, fmt.Errorf("opt: exact phase emptied its candidate set")
@@ -56,6 +62,10 @@ func exactSolve(in *job.Instance) (*Result, error) {
 		if err := emitPhase(in, ivs, used, cand, sp, mj, tkj, res); err != nil {
 			return nil, err
 		}
+		rec.Add("opt.phases", 1)
+		span.Add("jobs_saturated", int64(len(cand)))
+		span.SetValue("speed", sp)
+		span.End()
 		remaining = subtract(remaining, cand)
 	}
 
@@ -63,7 +73,7 @@ func exactSolve(in *job.Instance) (*Result, error) {
 	return res, nil
 }
 
-func exactRound(in *job.Instance, ivs []job.Interval, ivLen []*big.Rat, work []*big.Rat, used, cand []int, st *Stats) (found bool, removed int, speed *big.Rat, mj []int, tkj map[int][]pieceTime) {
+func exactRound(in *job.Instance, ivs []job.Interval, ivLen []*big.Rat, work []*big.Rat, used, cand []int, st *Stats, rec *obs.Recorder, span *obs.Span) (found bool, removed int, speed *big.Rat, mj []int, tkj map[int][]pieceTime) {
 	nIv := len(ivs)
 	mj = make([]int, nIv)
 	totalWork := new(big.Rat)
@@ -126,7 +136,10 @@ func exactRound(in *job.Instance, ivs []job.Interval, ivLen []*big.Rat, work []*
 		sinkEdges[jx] = g.AddEdge(ivNode[jx], sink, new(big.Rat).Mul(big.NewRat(int64(mj[jx]), 1), ivLen[jx]))
 	}
 
+	stop := rec.Time("opt.flow_solve_seconds")
 	value := g.MaxFlow(0, sink)
+	stop()
+	publishExact(rec, span, g.Ops())
 	if value.Cmp(totalTime) >= 0 {
 		tkj = make(map[int][]pieceTime, len(cand))
 		for _, e := range mid {

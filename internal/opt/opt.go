@@ -30,6 +30,7 @@ import (
 
 	"mpss/internal/flow"
 	"mpss/internal/job"
+	"mpss/internal/obs"
 	"mpss/internal/schedule"
 )
 
@@ -62,6 +63,8 @@ type Option func(*config)
 type config struct {
 	exact bool
 	tol   float64
+	rec   *obs.Recorder
+	span  *obs.Span
 }
 
 // Exact switches the phase decisions to exact math/big.Rat arithmetic.
@@ -75,6 +78,21 @@ func WithTolerance(tol float64) Option {
 	return func(c *config) { c.tol = tol }
 }
 
+// WithRecorder attaches an observability recorder: the solver records
+// per-phase spans (critical speed, rounds, jobs saturated/removed) and
+// global flow-solver operation counters into it. A nil recorder is the
+// no-op default.
+func WithRecorder(r *obs.Recorder) Option {
+	return func(c *config) { c.rec = r }
+}
+
+// UnderSpan nests the solver's phase spans under the given parent span
+// (e.g. one OA replanning event) instead of the recorder root. The
+// span's recorder is used when WithRecorder was not given.
+func UnderSpan(s *obs.Span) Option {
+	return func(c *config) { c.span = s }
+}
+
 // Schedule computes an energy-optimal schedule for the instance. The
 // returned schedule is feasible (verifiable with schedule.Verify) and
 // optimal for every convex non-decreasing power function with P(0) = 0.
@@ -83,13 +101,19 @@ func Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.exact {
-		return exactSolve(in)
+	if cfg.span == nil {
+		cfg.span = cfg.rec.Root()
 	}
-	return floatSolve(in, cfg.tol)
+	if cfg.rec == nil {
+		cfg.rec = cfg.span.Recorder()
+	}
+	if cfg.exact {
+		return exactSolve(in, cfg.rec, cfg.span)
+	}
+	return floatSolve(in, cfg.tol, cfg.rec, cfg.span)
 }
 
-func floatSolve(in *job.Instance, tol float64) (*Result, error) {
+func floatSolve(in *job.Instance, tol float64, rec *obs.Recorder, parent *obs.Span) (*Result, error) {
 	ivs := job.Partition(in.Jobs)
 	used := make([]int, len(ivs)) // processors occupied by earlier phases
 	remaining := make([]int, 0, in.N())
@@ -100,6 +124,8 @@ func floatSolve(in *job.Instance, tol float64) (*Result, error) {
 	res := &Result{Schedule: schedule.New(in.M), Intervals: ivs}
 
 	for len(remaining) > 0 {
+		span := parent.StartSpan(fmt.Sprintf("phase %d", len(res.Phases)+1))
+		span.Add("candidates", int64(len(remaining)))
 		cand := append([]int(nil), remaining...)
 		var (
 			speed float64
@@ -108,12 +134,15 @@ func floatSolve(in *job.Instance, tol float64) (*Result, error) {
 		)
 		for {
 			res.Stats.Rounds++
+			rec.Add("opt.rounds", 1)
 			var found bool
 			var removed int
-			found, removed, speed, mj, tkj = floatRound(in, ivs, used, cand, tol, &res.Stats)
+			found, removed, speed, mj, tkj = floatRound(in, ivs, used, cand, tol, &res.Stats, rec, span)
 			if found {
 				break
 			}
+			rec.Add("opt.jobs_removed", 1)
+			span.Add("jobs_removed", 1)
 			cand = deleteIndex(cand, removed)
 			if len(cand) == 0 {
 				return nil, fmt.Errorf("opt: phase emptied its candidate set (numerical failure)")
@@ -123,6 +152,10 @@ func floatSolve(in *job.Instance, tol float64) (*Result, error) {
 		if err := emitPhase(in, ivs, used, cand, speed, mj, tkj, res); err != nil {
 			return nil, err
 		}
+		rec.Add("opt.phases", 1)
+		span.Add("jobs_saturated", int64(len(cand)))
+		span.SetValue("speed", speed)
+		span.End()
 		remaining = subtract(remaining, cand)
 	}
 
@@ -138,7 +171,7 @@ type pieceTime struct {
 
 // floatRound runs one round of a phase: build G(J, m, s), compute the
 // max flow, and either accept the candidate set or name a job to remove.
-func floatRound(in *job.Instance, ivs []job.Interval, used, cand []int, tol float64, st *Stats) (found bool, removed int, speed float64, mj []int, tkj map[int][]pieceTime) {
+func floatRound(in *job.Instance, ivs []job.Interval, used, cand []int, tol float64, st *Stats, rec *obs.Recorder, span *obs.Span) (found bool, removed int, speed float64, mj []int, tkj map[int][]pieceTime) {
 	nIv := len(ivs)
 	mj = make([]int, nIv)
 	var totalWork, totalTime float64
@@ -206,7 +239,10 @@ func floatRound(in *job.Instance, ivs []job.Interval, used, cand []int, tol floa
 		sinkEdges[jx] = g.AddEdge(ivNode[jx], sink, float64(mj[jx])*iv.Len())
 	}
 
+	stop := rec.Time("opt.flow_solve_seconds")
 	value := g.MaxFlow(0, sink)
+	stop()
+	publishDinic(rec, span, g.Ops())
 	slack := tol * math.Max(1, totalTime)
 	if value >= totalTime-slack {
 		// Saturated: the candidate set is the true J_i.
@@ -308,6 +344,38 @@ func emitPhase(in *job.Instance, ivs []job.Interval, used, cand []int, speed flo
 	res.Phases = append(res.Phases, phase)
 	res.Stats.Phases++
 	return nil
+}
+
+// publishDinic folds one float-path max-flow solve's operation counts
+// into the recorder's global counters and the enclosing phase span.
+// All calls are no-ops when observability is off.
+func publishDinic(rec *obs.Recorder, span *obs.Span, ops flow.DinicOps) {
+	if !rec.Enabled() && span == nil {
+		return
+	}
+	rec.Add("flow.solves", 1)
+	rec.Add("flow.dinic.bfs_passes", ops.BFSPasses)
+	rec.Add("flow.dinic.aug_paths", ops.AugPaths)
+	rec.Add("flow.dinic.edges_scanned", ops.EdgesScanned)
+	span.Add("flow_calls", 1)
+	span.Add("bfs_passes", ops.BFSPasses)
+	span.Add("aug_paths", ops.AugPaths)
+	span.Add("edges_scanned", ops.EdgesScanned)
+}
+
+// publishExact is publishDinic for the exact rational solver.
+func publishExact(rec *obs.Recorder, span *obs.Span, ops flow.DinicOps) {
+	if !rec.Enabled() && span == nil {
+		return
+	}
+	rec.Add("flow.solves", 1)
+	rec.Add("flow.exact.bfs_passes", ops.BFSPasses)
+	rec.Add("flow.exact.aug_paths", ops.AugPaths)
+	rec.Add("flow.exact.edges_scanned", ops.EdgesScanned)
+	span.Add("flow_calls", 1)
+	span.Add("bfs_passes", ops.BFSPasses)
+	span.Add("aug_paths", ops.AugPaths)
+	span.Add("edges_scanned", ops.EdgesScanned)
 }
 
 func deleteIndex(cand []int, pos int) []int {

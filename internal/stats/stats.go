@@ -55,6 +55,39 @@ func Summarize(sample []float64) (Summary, error) {
 	}, nil
 }
 
+// Merge pools two summaries of disjoint samples into the summary of
+// their union. N, Mean, Std, Min and Max are exact (Std via the pooled
+// sum-of-squares identity); Median and P95 cannot be recovered from
+// summaries alone and are reported as the N-weighted average of the
+// inputs — exact when both samples share a distribution, an
+// approximation otherwise. A summary with N == 0 is the identity.
+func Merge(a, b Summary) Summary {
+	if a.N == 0 {
+		return b
+	}
+	if b.N == 0 {
+		return a
+	}
+	na, nb := float64(a.N), float64(b.N)
+	n := na + nb
+	mean := (a.Mean*na + b.Mean*nb) / n
+	ss := float64(a.N-1)*a.Std*a.Std + na*(a.Mean-mean)*(a.Mean-mean) +
+		float64(b.N-1)*b.Std*b.Std + nb*(b.Mean-mean)*(b.Mean-mean)
+	std := 0.0
+	if a.N+b.N > 1 {
+		std = math.Sqrt(ss / (n - 1))
+	}
+	return Summary{
+		N:      a.N + b.N,
+		Mean:   mean,
+		Std:    std,
+		Min:    math.Min(a.Min, b.Min),
+		Max:    math.Max(a.Max, b.Max),
+		Median: (a.Median*na + b.Median*nb) / n,
+		P95:    (a.P95*na + b.P95*nb) / n,
+	}
+}
+
 // Percentile returns the p-quantile (0 <= p <= 1) of an already-sorted
 // sample using linear interpolation between order statistics.
 func Percentile(sorted []float64, p float64) float64 {

@@ -69,6 +69,84 @@ func TestGeoMean(t *testing.T) {
 	}
 }
 
+func TestMergeIdentity(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Merge(Summary{}, s); got != s {
+		t.Errorf("Merge(empty, s) = %+v, want %+v", got, s)
+	}
+	if got := Merge(s, Summary{}); got != s {
+		t.Errorf("Merge(s, empty) = %+v, want %+v", got, s)
+	}
+	if got := Merge(Summary{}, Summary{}); got.N != 0 {
+		t.Errorf("Merge(empty, empty) = %+v", got)
+	}
+}
+
+func TestMergeSingleElements(t *testing.T) {
+	a, _ := Summarize([]float64{2})
+	b, _ := Summarize([]float64{6})
+	m := Merge(a, b)
+	want, _ := Summarize([]float64{2, 6})
+	if m.N != 2 || math.Abs(m.Mean-want.Mean) > 1e-12 ||
+		math.Abs(m.Std-want.Std) > 1e-12 || m.Min != 2 || m.Max != 6 {
+		t.Errorf("Merge = %+v, want %+v", m, want)
+	}
+}
+
+// Merge must reproduce the exact N/mean/std/min/max of summarizing the
+// concatenated sample.
+func TestMergeMatchesConcatenation(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, 3}
+	ys := []float64{-4, 0.5, 12, 7, 7, 9, 1.25}
+	a, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Summarize(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Merge(a, b)
+	want, err := Summarize(append(append([]float64(nil), xs...), ys...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != want.N {
+		t.Errorf("N = %d, want %d", m.N, want.N)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"mean", m.Mean, want.Mean},
+		{"std", m.Std, want.Std},
+		{"min", m.Min, want.Min},
+		{"max", m.Max, want.Max},
+	} {
+		if math.Abs(c.got-c.want) > 1e-9*(1+math.Abs(c.want)) {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	// Median/P95 are approximations but must stay inside [min, max].
+	if m.Median < m.Min || m.Median > m.Max || m.P95 < m.Min || m.P95 > m.Max {
+		t.Errorf("quantile estimates escaped range: %+v", m)
+	}
+}
+
+// Non-finite samples never reach Merge because Summarize rejects them;
+// pin that contract here since obs.Histogram relies on it.
+func TestMergeNonFiniteGuard(t *testing.T) {
+	if _, err := Summarize([]float64{1, math.Inf(-1)}); err == nil {
+		t.Error("-Inf accepted by Summarize")
+	}
+	if _, err := Summarize([]float64{math.NaN()}); err == nil {
+		t.Error("NaN accepted by Summarize")
+	}
+}
+
 // Property: min <= median <= p95 <= max and mean within [min, max].
 func TestSummaryOrderingProperty(t *testing.T) {
 	f := func(raw []float64) bool {

@@ -49,6 +49,7 @@ import (
 	"mpss/internal/bkp"
 	"mpss/internal/discrete"
 	"mpss/internal/job"
+	"mpss/internal/obs"
 	"mpss/internal/online"
 	"mpss/internal/opt"
 	"mpss/internal/potential"
@@ -103,6 +104,44 @@ type Assignment = online.Assignment
 // WorkloadSpec parameterizes the bundled workload generators.
 type WorkloadSpec = workload.Spec
 
+// Recorder collects solver metrics: named atomic counters, duration
+// histograms and a hierarchical span trace of the solver's phase
+// structure. Construct with NewRecorder and attach to any solver entry
+// point via WithRecorder; a nil *Recorder is a no-op, so instrumented
+// call sites need no conditionals. See internal/obs.
+type Recorder = obs.Recorder
+
+// NewRecorder returns an empty metrics recorder.
+func NewRecorder() *Recorder { return obs.New() }
+
+// Metrics is a point-in-time export of a Recorder: counters, histogram
+// summaries and the span trace. Obtain one with Recorder.Snapshot; write
+// it as JSON with Recorder.WriteJSON or render the phase tree with
+// Metrics.TraceTree.
+type Metrics = obs.Snapshot
+
+// SolveOption configures the instrumented solver entry points
+// (OptimalSchedule, OptimalScheduleExact, OA, AVR).
+type SolveOption func(*solveConfig)
+
+type solveConfig struct {
+	rec *obs.Recorder
+}
+
+// WithRecorder directs a solver run to record its metrics and phase
+// trace into r.
+func WithRecorder(r *Recorder) SolveOption {
+	return func(c *solveConfig) { c.rec = r }
+}
+
+func buildSolveConfig(opts []SolveOption) solveConfig {
+	var cfg solveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
 // NewInstance validates m and the jobs and returns a schedulable instance.
 func NewInstance(m int, jobs []Job) (*Instance, error) {
 	return job.NewInstance(m, jobs)
@@ -118,15 +157,17 @@ func MustAlpha(alpha float64) Alpha { return power.MustAlpha(alpha) }
 // instance using the paper's combinatorial flow-based algorithm. The
 // result is feasible and optimal for every convex non-decreasing power
 // function with P(0) = 0.
-func OptimalSchedule(in *Instance) (*OptimalResult, error) {
-	return opt.Schedule(in)
+func OptimalSchedule(in *Instance, opts ...SolveOption) (*OptimalResult, error) {
+	cfg := buildSolveConfig(opts)
+	return opt.Schedule(in, opt.WithRecorder(cfg.rec))
 }
 
 // OptimalScheduleExact is OptimalSchedule with all phase decisions carried
 // out in exact rational arithmetic. Slower, but immune to floating-point
 // misclassification.
-func OptimalScheduleExact(in *Instance) (*OptimalResult, error) {
-	return opt.Schedule(in, opt.Exact())
+func OptimalScheduleExact(in *Instance, opts ...SolveOption) (*OptimalResult, error) {
+	cfg := buildSolveConfig(opts)
+	return opt.Schedule(in, opt.Exact(), opt.WithRecorder(cfg.rec))
 }
 
 // YDS computes the classic optimal single-processor schedule.
@@ -142,12 +183,18 @@ func YDS(jobs []Job) (*Schedule, error) {
 // replanning with the offline optimum at every arrival. Theorem 2 of the
 // paper: the result consumes at most alpha^alpha times the optimal energy
 // under P(s) = s^alpha.
-func OA(in *Instance) (*OAResult, error) { return online.OA(in) }
+func OA(in *Instance, opts ...SolveOption) (*OAResult, error) {
+	cfg := buildSolveConfig(opts)
+	return online.OA(in, online.WithRecorder(cfg.rec))
+}
 
 // AVR runs the online Average Rate algorithm on the instance. Theorem 3
 // of the paper: the result consumes at most (2 alpha)^alpha/2 + 1 times
 // the optimal energy under P(s) = s^alpha.
-func AVR(in *Instance) (*AVRResult, error) { return online.AVR(in) }
+func AVR(in *Instance, opts ...SolveOption) (*AVRResult, error) {
+	cfg := buildSolveConfig(opts)
+	return online.AVR(in, online.WithRecorder(cfg.rec))
+}
 
 // NonMigratory schedules without migration: jobs are assigned to
 // processors with the given policy and each processor runs its
