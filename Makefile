@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench clean
+.PHONY: all build test vet race verify bench bench-smoke clean
 
 all: verify
 
@@ -22,8 +22,21 @@ race:
 
 verify: build vet test race
 
+# bench runs the solver benchmark family (warm incremental engine vs the
+# cold per-round-rebuild baseline) and archives the numbers — ns/op,
+# allocs/op and the solver-internal counters reported via b.ReportMetric
+# — as BENCH_opt.json. The raw benchstat-compatible text lands in
+# bench_opt.txt for `benchstat old.txt bench_opt.txt` comparisons.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run xxx .
+	$(GO) test -run xxx -bench 'BenchmarkOptSchedule|BenchmarkFeasibleAtSpeed' \
+		-benchtime 3x -count 1 ./internal/opt/ | tee bench_opt.txt
+	$(GO) run ./cmd/benchjson -o BENCH_opt.json < bench_opt.txt >/dev/null
+
+# bench-smoke is the fast CI variant: one iteration of the small sizes.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkOptSchedule(Cold)?64Jobs' \
+		-benchtime 1x -count 1 ./internal/opt/
 
 clean:
 	$(GO) clean ./...

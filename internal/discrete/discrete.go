@@ -123,10 +123,3 @@ func UniformMenu(max float64, k int) ([]float64, error) {
 	}
 	return out, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,43 @@
+package flow
+
+import "mpss/internal/pool"
+
+// Package-level graph arenas. AcquireGraph returns a Reset graph ready
+// for AddEdge; ReleaseGraph recycles one so its flat edge array, CSR
+// index and scratch buffers are reused by the next solve. Steady-state
+// round loops therefore allocate nothing for graph storage.
+
+var graphPool pool.FreeList[Graph]
+
+// AcquireGraph returns a pooled graph reset to n vertices.
+func AcquireGraph(n int) *Graph {
+	g := graphPool.Get()
+	g.Reset(n)
+	g.tol = 0
+	return g
+}
+
+// ReleaseGraph returns a graph obtained from AcquireGraph to the pool.
+// The graph must not be used afterwards.
+func ReleaseGraph(g *Graph) {
+	if g != nil {
+		graphPool.Put(g)
+	}
+}
+
+var ratPool pool.FreeList[RatGraph]
+
+// AcquireRatGraph returns a pooled exact graph reset to n vertices.
+func AcquireRatGraph(n int) *RatGraph {
+	g := ratPool.Get()
+	g.Reset(n)
+	return g
+}
+
+// ReleaseRatGraph returns a graph obtained from AcquireRatGraph to the
+// pool. The graph must not be used afterwards.
+func ReleaseRatGraph(g *RatGraph) {
+	if g != nil {
+		ratPool.Put(g)
+	}
+}

@@ -1,0 +1,264 @@
+package flow
+
+import (
+	"encoding/binary"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// layeredNet is a random instance of the scheduling network shape used by
+// the optimal solver: source -> jobs -> intervals -> sink. Capacities are
+// rationals (k/denom) so the float and exact graphs are built from the
+// same numbers.
+type layeredNet struct {
+	nJobs, nIvs int
+	srcCap      []int64 // per job, in units of 1/denom
+	sinkCap     []int64 // per interval
+	midCap      []int64 // per (job, interval) pair, 0 = inactive
+	denom       int64
+}
+
+func (net *layeredNet) vertices() int { return 2 + net.nJobs + net.nIvs }
+
+func (net *layeredNet) sink() int { return 1 + net.nJobs + net.nIvs }
+
+func randomNet(rng *rand.Rand) *layeredNet {
+	net := &layeredNet{
+		nJobs: 1 + rng.Intn(8),
+		nIvs:  1 + rng.Intn(6),
+		denom: int64(1 + rng.Intn(7)),
+	}
+	for k := 0; k < net.nJobs; k++ {
+		net.srcCap = append(net.srcCap, int64(rng.Intn(40)))
+	}
+	for j := 0; j < net.nIvs; j++ {
+		net.sinkCap = append(net.sinkCap, int64(rng.Intn(60)))
+	}
+	for k := 0; k < net.nJobs; k++ {
+		active := false
+		for j := 0; j < net.nIvs; j++ {
+			if rng.Intn(3) > 0 {
+				net.midCap = append(net.midCap, int64(1+rng.Intn(30)))
+				active = true
+			} else {
+				net.midCap = append(net.midCap, 0)
+			}
+		}
+		if !active { // keep every job connected so drains always terminate
+			net.midCap[k*net.nIvs+rng.Intn(net.nIvs)] = int64(1 + rng.Intn(30))
+		}
+	}
+	return net
+}
+
+func (net *layeredNet) buildFloat(g *Graph) (src, sink []EdgeID) {
+	d := float64(net.denom)
+	for k := 0; k < net.nJobs; k++ {
+		src = append(src, g.AddEdge(0, 1+k, float64(net.srcCap[k])/d))
+	}
+	for k := 0; k < net.nJobs; k++ {
+		for j := 0; j < net.nIvs; j++ {
+			if c := net.midCap[k*net.nIvs+j]; c > 0 {
+				g.AddEdge(1+k, 1+net.nJobs+j, float64(c)/d)
+			}
+		}
+	}
+	for j := 0; j < net.nIvs; j++ {
+		sink = append(sink, g.AddEdge(1+net.nJobs+j, net.sink(), float64(net.sinkCap[j])/d))
+	}
+	return src, sink
+}
+
+func (net *layeredNet) buildRat(g *RatGraph) (src, sink []EdgeID) {
+	c := new(big.Rat)
+	for k := 0; k < net.nJobs; k++ {
+		c.SetFrac64(net.srcCap[k], net.denom)
+		src = append(src, g.AddEdge(0, 1+k, c))
+	}
+	for k := 0; k < net.nJobs; k++ {
+		for j := 0; j < net.nIvs; j++ {
+			if mc := net.midCap[k*net.nIvs+j]; mc > 0 {
+				c.SetFrac64(mc, net.denom)
+				g.AddEdge(1+k, 1+net.nJobs+j, c)
+			}
+		}
+	}
+	for j := 0; j < net.nIvs; j++ {
+		c.SetFrac64(net.sinkCap[j], net.denom)
+		sink = append(sink, g.AddEdge(1+net.nJobs+j, net.sink(), c))
+	}
+	return src, sink
+}
+
+func (net *layeredNet) buildPR(g *PRGraph) {
+	d := float64(net.denom)
+	for k := 0; k < net.nJobs; k++ {
+		g.AddEdge(0, 1+k, float64(net.srcCap[k])/d)
+	}
+	for k := 0; k < net.nJobs; k++ {
+		for j := 0; j < net.nIvs; j++ {
+			if c := net.midCap[k*net.nIvs+j]; c > 0 {
+				g.AddEdge(1+k, 1+net.nJobs+j, float64(c)/d)
+			}
+		}
+	}
+	for j := 0; j < net.nIvs; j++ {
+		g.AddEdge(1+net.nJobs+j, net.sink(), float64(net.sinkCap[j])/d)
+	}
+}
+
+// checkDifferential asserts that Dinic, push-relabel and the exact
+// rational solver agree on a random net, and that the incremental
+// warm-start path (remove a job, shrink a sink, rescale sources,
+// re-augment) matches a cold solve built at the final capacities.
+func checkDifferential(t *testing.T, rng *rand.Rand) {
+	t.Helper()
+	net := randomNet(rng)
+	s, sink := 0, net.sink()
+
+	dg := NewGraph(net.vertices())
+	net.buildFloat(dg)
+	pg := NewPRGraph(net.vertices())
+	net.buildPR(pg)
+	rg := NewRatGraph(net.vertices())
+	net.buildRat(rg)
+
+	fv := dg.MaxFlow(s, sink)
+	pv := pg.MaxFlow(s, sink)
+	rv, _ := rg.MaxFlow(s, sink).Float64()
+
+	tol := 1e-9 * math.Max(1, rv)
+	if math.Abs(fv-rv) > tol {
+		t.Fatalf("dinic %v vs exact %v (net %+v)", fv, rv, net)
+	}
+	if math.Abs(pv-rv) > tol {
+		t.Fatalf("push-relabel %v vs exact %v (net %+v)", pv, rv, net)
+	}
+	if err := dg.CheckConservation(s, sink); err != nil {
+		t.Fatalf("dinic conservation: %v", err)
+	}
+
+	// The mutation sequence the optimal solver applies per rejection:
+	// remove one job, shrink one sink capacity, rescale the sources.
+	kill := rng.Intn(net.nJobs)
+	shrink := rng.Intn(net.nIvs)
+	factorNum := int64(1 + rng.Intn(3)) // sources scale by factorDen/factorNum
+	factorDen := int64(1 + rng.Intn(3))
+
+	// Warm float graph: solve, mutate incrementally, re-augment.
+	wg := NewGraph(net.vertices())
+	fsrc, fsink := net.buildFloat(wg)
+	wg.MaxFlow(s, sink)
+	wg.RemoveJobEdge(fsrc[kill])
+	wg.SetCapacity(fsink[shrink], float64(net.sinkCap[shrink]/2)/float64(net.denom))
+	wg.ScaleSourceCaps(float64(factorDen) / float64(factorNum))
+	wg.MaxFlow(s, sink)
+	warmVal := 0.0
+	for k, id := range fsrc {
+		if k != kill {
+			warmVal += wg.Flow(id)
+		}
+	}
+	if err := wg.CheckConservation(s, sink); err != nil {
+		t.Fatalf("warm conservation: %v", err)
+	}
+
+	// Warm exact graph with the same mutation sequence.
+	wr := NewRatGraph(net.vertices())
+	rsrc, rsink := net.buildRat(wr)
+	wr.MaxFlow(s, sink)
+	wr.RemoveJobEdge(rsrc[kill])
+	c := new(big.Rat).SetFrac64(net.sinkCap[shrink]/2, net.denom)
+	wr.SetCapacity(rsink[shrink], c)
+	wr.ScaleSourceCaps(new(big.Rat).SetFrac64(factorDen, factorNum))
+	wr.MaxFlow(s, sink)
+	warmRat := new(big.Rat)
+	for k, id := range rsrc {
+		if k != kill {
+			warmRat.Add(warmRat, wr.Flow(id))
+		}
+	}
+
+	// Cold graphs built directly at the final capacities.
+	final := &layeredNet{
+		nJobs:   net.nJobs,
+		nIvs:    net.nIvs,
+		srcCap:  append([]int64(nil), net.srcCap...),
+		sinkCap: append([]int64(nil), net.sinkCap...),
+		midCap:  net.midCap,
+		denom:   net.denom * factorNum,
+	}
+	for k := range final.srcCap {
+		final.srcCap[k] *= factorDen
+	}
+	final.srcCap[kill] = 0
+	final.sinkCap[shrink] = net.sinkCap[shrink] / 2 * factorNum
+	// mid and sink caps keep the old denominator: scale numerators.
+	for j := range final.sinkCap {
+		if j != shrink {
+			final.sinkCap[j] = net.sinkCap[j] * factorNum
+		}
+	}
+	final.midCap = append([]int64(nil), net.midCap...)
+	for i := range final.midCap {
+		final.midCap[i] *= factorNum
+	}
+
+	cr := NewRatGraph(final.vertices())
+	csrc, _ := final.buildRat(cr)
+	cr.MaxFlow(s, sink)
+	coldRat := new(big.Rat)
+	for k, id := range csrc {
+		if k != kill {
+			coldRat.Add(coldRat, cr.Flow(id))
+		}
+	}
+	if warmRat.Cmp(coldRat) != 0 {
+		t.Fatalf("exact warm %v != cold %v (net %+v kill=%d shrink=%d)",
+			warmRat, coldRat, net, kill, shrink)
+	}
+	cv, _ := coldRat.Float64()
+	ctol := 1e-9 * math.Max(1, cv)
+	if math.Abs(warmVal-cv) > ctol {
+		t.Fatalf("float warm %v vs exact cold %v (net %+v)", warmVal, cv, net)
+	}
+
+	// Canonical re-solve: clearing the warm flow and re-augmenting from
+	// zero must reproduce the cold per-edge flows exactly — the removed
+	// job's zero-capacity edges are invisible to the search, so the two
+	// graphs explore identical residual networks.
+	wr.ResetFlow()
+	wr.MaxFlow(s, sink)
+	for k, id := range rsrc {
+		if k == kill {
+			continue
+		}
+		if wr.Flow(id).Cmp(cr.Flow(csrc[k])) != 0 {
+			t.Fatalf("canonical re-solve: source edge %d flow %v != cold %v",
+				k, wr.Flow(id), cr.Flow(csrc[k]))
+		}
+	}
+}
+
+func TestDifferentialSolvers(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		checkDifferential(t, rng)
+	}
+}
+
+func FuzzDifferentialSolvers(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], seed*2654435761)
+		f.Add(b[:])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b [8]byte
+		copy(b[:], data)
+		rng := rand.New(rand.NewSource(int64(binary.LittleEndian.Uint64(b[:]))))
+		checkDifferential(t, rng)
+	})
+}

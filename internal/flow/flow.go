@@ -1,15 +1,30 @@
 // Package flow provides the maximum-flow substrate used by the
 // combinatorial offline speed-scaling algorithm (Section 2 of the paper).
 //
-// Two solvers are provided:
+// Three solvers are provided:
 //
 //   - Graph: Dinic's algorithm over float64 capacities with a configurable
 //     tolerance for residual-capacity comparisons. This is the fast path.
 //   - RatGraph (rational.go): the same algorithm over exact math/big.Rat
 //     arithmetic, used to re-verify phase decisions on rational inputs.
+//   - PRGraph (pushrelabel.go): push-relabel, the E11 ablation partner.
 //
-// Dinic's algorithm runs in O(V^2 E) in general and is far faster on the
-// shallow 4-layer networks G(J, m, s) built by the scheduler.
+// All three store the residual network as a single flat edge array with a
+// CSR-style adjacency index built lazily on first solve: the forward edge
+// created by AddEdge sits at an even index i, its reverse at i^1, and a
+// vertex's incident edges occupy one contiguous adjOff[v]..adjOff[v+1]
+// window of the index. The flat layout keeps the Dinic inner loops on two
+// contiguous allocations (cache locality) and makes graphs resettable
+// arenas: Reset reuses every backing array, and AcquireGraph/ReleaseGraph
+// (arena.go) recycle whole graphs across solves.
+//
+// Graph and RatGraph additionally support warm-started incremental
+// re-solving, the engine behind the round loop of internal/opt:
+// SetCapacity, ScaleSourceCaps and RemoveJobEdge mutate capacities while
+// keeping the current flow feasible (draining excess flow along
+// flow-carrying paths when a capacity drops below it), so the next
+// MaxFlow call re-augments from the existing flow instead of restarting
+// at zero. See DESIGN.md for the drain/re-augment invariant.
 package flow
 
 import (
@@ -22,16 +37,19 @@ import (
 // capacity in the graph.
 const DefaultTolerance = 1e-12
 
+// edge is one directed arc of the flat residual-edge array. Edges live in
+// pairs: the forward edge added by AddEdge at an even index i, its
+// reverse at i^1, so the partner is one XOR away and needs no pointer.
 type edge struct {
-	to   int
-	cap  float64 // remaining (residual) capacity
-	orig float64 // original capacity (0 for reverse edges)
-	rev  int     // index of the reverse edge in adj[to]
+	from, to int32
+	cap      float64 // remaining (residual) capacity
+	orig     float64 // original capacity (0 for reverse edges)
 }
 
 // DinicOps counts the elementary operations of a Dinic max-flow run,
 // for the observability layer (internal/obs) and the E11 ablation. The
-// counts accumulate across MaxFlow calls on the same graph.
+// counts accumulate across MaxFlow calls on the same graph and reset
+// with Reset.
 type DinicOps struct {
 	BFSPasses    int64 // level-graph constructions
 	AugPaths     int64 // augmenting paths pushed
@@ -45,50 +63,109 @@ func (d *DinicOps) Add(o DinicOps) {
 	d.EdgesScanned += o.EdgesScanned
 }
 
-// Graph is a flow network over float64 capacities. The zero value is not
-// usable; construct with NewGraph.
-type Graph struct {
-	adj    [][]edge
-	maxCap float64
-	tol    float64 // absolute tolerance; derived lazily from maxCap
-	ops    DinicOps
+// Sub returns d minus o, for per-solve deltas on a reused graph.
+func (d DinicOps) Sub(o DinicOps) DinicOps {
+	return DinicOps{
+		BFSPasses:    d.BFSPasses - o.BFSPasses,
+		AugPaths:     d.AugPaths - o.AugPaths,
+		EdgesScanned: d.EdgesScanned - o.EdgesScanned,
+	}
 }
 
-// Ops returns the operation counts accumulated by MaxFlow so far.
+// Graph is a flow network over float64 capacities. The zero value is an
+// unusable arena; construct with NewGraph, or call Reset to (re)shape an
+// existing graph without allocating.
+type Graph struct {
+	edges []edge
+	nv    int
+
+	// CSR adjacency over the flat edge array, rebuilt lazily after
+	// structural changes (AddEdge/Reset): adjOff[v]..adjOff[v+1] indexes
+	// adjLst, which lists the edges leaving v in insertion order.
+	adjOff []int32
+	adjLst []int32
+	csrOK  bool
+
+	maxCap   float64
+	maxCapOK bool
+	tol      float64 // absolute tolerance; derived lazily from maxCap
+	ops      DinicOps
+
+	// Endpoints of the last MaxFlow call; the incremental mutators need
+	// them to know where drained flow cancels to.
+	lastS, lastT int
+	haveST       bool
+
+	// Reusable scratch for MaxFlow, CoReachable and the drain walks.
+	level, iter, queue []int32
+	mark               []bool
+}
+
+// Ops returns the operation counts accumulated by MaxFlow since the last
+// Reset.
 func (g *Graph) Ops() DinicOps { return g.ops }
 
 // NewGraph returns an empty flow network with n vertices numbered 0..n-1.
 func NewGraph(n int) *Graph {
+	g := &Graph{}
+	g.Reset(n)
+	return g
+}
+
+// Reset re-initializes the graph to n empty vertices, reusing all backing
+// arrays. It is the arena entry point: a Reset graph is indistinguishable
+// from a NewGraph one, but steady-state reuse allocates nothing.
+func (g *Graph) Reset(n int) {
 	if n < 2 {
 		panic(fmt.Sprintf("flow: graph needs >= 2 vertices, got %d", n))
 	}
-	return &Graph{adj: make([][]edge, n)}
+	g.nv = n
+	g.edges = g.edges[:0]
+	g.csrOK = false
+	g.maxCap = 0
+	g.maxCapOK = true
+	g.tol = 0
+	g.ops = DinicOps{}
+	g.haveST = false
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.nv }
 
 // SetTolerance overrides the absolute saturation tolerance. A zero value
 // restores the default (DefaultTolerance times the largest capacity).
 func (g *Graph) SetTolerance(tol float64) { g.tol = tol }
 
+func (g *Graph) maxCapValue() float64 {
+	if !g.maxCapOK {
+		m := 0.0
+		for i := 0; i < len(g.edges); i += 2 {
+			if c := g.edges[i].orig; c > m {
+				m = c
+			}
+		}
+		g.maxCap = m
+		g.maxCapOK = true
+	}
+	return g.maxCap
+}
+
 func (g *Graph) tolerance() float64 {
 	if g.tol > 0 {
 		return g.tol
 	}
-	return DefaultTolerance * math.Max(1, g.maxCap)
+	return DefaultTolerance * math.Max(1, g.maxCapValue())
 }
 
-// EdgeID identifies an edge added by AddEdge, for later flow queries.
-type EdgeID struct {
-	from, idx int
-}
+// EdgeID identifies an edge added by AddEdge: the (even) index of its
+// forward edge in the flat edge array.
+type EdgeID int32
 
 // AddEdge adds a directed edge from -> to with the given capacity and
 // returns its identifier. Capacities must be finite and non-negative.
 func (g *Graph) AddEdge(from, to int, capacity float64) EdgeID {
-	if from < 0 || from >= len(g.adj) || to < 0 || to >= len(g.adj) {
-		panic(fmt.Sprintf("flow: edge %d->%d out of range [0,%d)", from, to, len(g.adj)))
+	if from < 0 || from >= g.nv || to < 0 || to >= g.nv {
+		panic(fmt.Sprintf("flow: edge %d->%d out of range [0,%d)", from, to, g.nv))
 	}
 	if from == to {
 		panic("flow: self-loop")
@@ -96,41 +173,91 @@ func (g *Graph) AddEdge(from, to int, capacity float64) EdgeID {
 	if math.IsNaN(capacity) || math.IsInf(capacity, 0) || capacity < 0 {
 		panic(fmt.Sprintf("flow: invalid capacity %v", capacity))
 	}
-	g.maxCap = math.Max(g.maxCap, capacity)
-	g.adj[from] = append(g.adj[from], edge{to: to, cap: capacity, orig: capacity, rev: len(g.adj[to])})
-	g.adj[to] = append(g.adj[to], edge{to: from, cap: 0, orig: 0, rev: len(g.adj[from]) - 1})
-	return EdgeID{from: from, idx: len(g.adj[from]) - 1}
+	if g.maxCapOK && capacity > g.maxCap {
+		g.maxCap = capacity
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges,
+		edge{from: int32(from), to: int32(to), cap: capacity, orig: capacity},
+		edge{from: int32(to), to: int32(from), cap: 0, orig: 0},
+	)
+	g.csrOK = false
+	return id
+}
+
+// fwd returns the forward edge for id, validating it.
+func (g *Graph) fwd(id EdgeID) *edge {
+	if id < 0 || int(id) >= len(g.edges) || id&1 != 0 {
+		panic(fmt.Sprintf("flow: invalid edge id %d", id))
+	}
+	return &g.edges[id]
 }
 
 // Flow returns the amount of flow currently routed along the edge.
 func (g *Graph) Flow(id EdgeID) float64 {
-	e := g.adj[id.from][id.idx]
+	e := g.fwd(id)
 	return e.orig - e.cap
 }
 
 // Capacity returns the original capacity of the edge.
 func (g *Graph) Capacity(id EdgeID) float64 {
-	return g.adj[id.from][id.idx].orig
+	return g.fwd(id).orig
 }
 
 // Saturated reports whether the edge carries (numerically) its full
 // capacity.
 func (g *Graph) Saturated(id EdgeID) bool {
-	return g.adj[id.from][id.idx].cap <= g.tolerance()
+	return g.fwd(id).cap <= g.tolerance()
 }
 
-// MaxFlow computes a maximum s-t flow with Dinic's algorithm and returns
-// its value. It may be called once per graph; subsequent calls continue
-// from the existing flow (and therefore return 0 once maximal).
+// build (re)constructs the CSR adjacency index after structural changes.
+func (g *Graph) build() {
+	if g.csrOK {
+		return
+	}
+	n := g.nv
+	g.adjOff = growInt32(g.adjOff, n+1)
+	g.adjLst = growInt32(g.adjLst, len(g.edges))
+	g.ensureScratch(n)
+	// iter is free to clobber as cursor scratch: MaxFlow re-fills it.
+	buildCSR(n, len(g.edges), func(i int) int32 { return g.edges[i].from }, g.adjOff, g.adjLst, g.iter)
+	g.csrOK = true
+}
+
+func (g *Graph) ensureScratch(n int) {
+	g.level = growInt32(g.level, n)
+	g.iter = growInt32(g.iter, n)
+	if cap(g.queue) < n {
+		g.queue = make([]int32, 0, n)
+	}
+	if cap(g.mark) < n {
+		g.mark = make([]bool, n)
+	}
+	g.mark = g.mark[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// MaxFlow augments the current flow to a maximum s-t flow with Dinic's
+// algorithm and returns the amount of flow added by this call. On a fresh
+// (or ResetFlow) graph that is the max-flow value; after incremental
+// capacity updates it is the re-augmentation delta, so warm restarts
+// continue from the existing feasible flow instead of zero.
 func (g *Graph) MaxFlow(s, t int) float64 {
 	if s == t {
 		panic("flow: source equals sink")
 	}
+	g.build()
+	g.ensureScratch(g.nv)
+	g.lastS, g.lastT, g.haveST = s, t, true
 	tol := g.tolerance()
-	n := len(g.adj)
-	level := make([]int, n)
-	iter := make([]int, n)
-	queue := make([]int, 0, n)
+	n := g.nv
+	level, iter := g.level, g.iter
 
 	// Local op tallies, flushed to g.ops once at the end so the inner
 	// loops touch only registers.
@@ -138,39 +265,40 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 
 	bfs := func() bool {
 		bfsPasses++
-		for i := range level {
+		for i := 0; i < n; i++ {
 			level[i] = -1
 		}
 		level[s] = 0
-		queue = queue[:0]
-		queue = append(queue, s)
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			edgesScanned += int64(len(g.adj[v]))
-			for _, e := range g.adj[v] {
+		queue := append(g.queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			edgesScanned += int64(g.adjOff[v+1] - g.adjOff[v])
+			for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+				e := &g.edges[g.adjLst[i]]
 				if e.cap > tol && level[e.to] < 0 {
 					level[e.to] = level[v] + 1
 					queue = append(queue, e.to)
 				}
 			}
 		}
+		g.queue = queue[:0]
 		return level[t] >= 0
 	}
 
-	var dfs func(v int, f float64) float64
-	dfs = func(v int, f float64) float64 {
-		if v == t {
+	var dfs func(v int32, f float64) float64
+	dfs = func(v int32, f float64) float64 {
+		if int(v) == t {
 			return f
 		}
-		for ; iter[v] < len(g.adj[v]); iter[v]++ {
+		for ; iter[v] < g.adjOff[v+1]; iter[v]++ {
 			edgesScanned++
-			e := &g.adj[v][iter[v]]
+			eid := g.adjLst[iter[v]]
+			e := &g.edges[eid]
 			if e.cap > tol && level[v] < level[e.to] {
 				d := dfs(e.to, math.Min(f, e.cap))
 				if d > 0 {
 					e.cap -= d
-					g.adj[e.to][e.rev].cap += d
+					g.edges[eid^1].cap += d
 					return d
 				}
 			}
@@ -180,11 +308,9 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 
 	var total float64
 	for bfs() {
-		for i := range iter {
-			iter[i] = 0
-		}
+		copy(iter[:n], g.adjOff[:n])
 		for {
-			f := dfs(s, math.Inf(1))
+			f := dfs(int32(s), math.Inf(1))
 			if f <= 0 {
 				break
 			}
@@ -198,8 +324,10 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 
 // OutFlow returns the total flow leaving vertex v on forward edges.
 func (g *Graph) OutFlow(v int) float64 {
+	g.build()
 	var f float64
-	for _, e := range g.adj[v] {
+	for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+		e := &g.edges[g.adjLst[i]]
 		if e.orig > 0 {
 			f += e.orig - e.cap
 		}
@@ -211,14 +339,16 @@ func (g *Graph) OutFlow(v int) float64 {
 // and t, within the graph tolerance scaled by the vertex degree. It
 // returns the first violation found.
 func (g *Graph) CheckConservation(s, t int) error {
+	g.build()
 	tol := g.tolerance()
-	for v := range g.adj {
+	for v := 0; v < g.nv; v++ {
 		if v == s || v == t {
 			continue
 		}
 		var net float64
 		deg := 0
-		for _, e := range g.adj[v] {
+		for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+			e := &g.edges[g.adjLst[i]]
 			if e.orig > 0 { // forward edge leaving v
 				net -= e.orig - e.cap
 				deg++
@@ -232,4 +362,306 @@ func (g *Graph) CheckConservation(s, t int) error {
 		}
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Incremental warm-start API.
+//
+// The mutators below keep the current flow feasible under capacity
+// changes — when a capacity drops below the flow routed over its edge,
+// the excess is canceled along flow-carrying paths back to the source and
+// forward to the sink of the last MaxFlow call. A feasible flow can
+// always be augmented to a maximum one, so the next MaxFlow call
+// re-augments from the preserved flow instead of restarting Dinic at
+// zero. Draining requires the positive-flow subgraph to be acyclic,
+// which holds for every network this repository builds (layered DAGs).
+// ---------------------------------------------------------------------------
+
+// ResetFlow removes all flow, restoring every residual capacity to the
+// edge's original capacity. Structure (and the CSR index) is untouched,
+// so a following MaxFlow run is bit-identical to a run on a freshly
+// built copy of the graph.
+func (g *Graph) ResetFlow() {
+	for i := range g.edges {
+		g.edges[i].cap = g.edges[i].orig
+	}
+}
+
+func (g *Graph) stEndpoints() (int, int) {
+	if !g.haveST {
+		panic("flow: incremental mutation before any MaxFlow call")
+	}
+	return g.lastS, g.lastT
+}
+
+// SetCapacity replaces the capacity of edge id. When the flow currently
+// routed over the edge exceeds the new capacity, the excess is first
+// drained (see the package comment on the warm-start invariant); the
+// amount drained is returned.
+func (g *Graph) SetCapacity(id EdgeID, c float64) float64 {
+	if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+		panic(fmt.Sprintf("flow: invalid capacity %v", c))
+	}
+	e := g.fwd(id)
+	var drained float64
+	if e.orig-e.cap > c {
+		drained = g.reduceEdgeFlowTo(int32(id), c)
+	}
+	old := e.orig
+	flow := e.orig - e.cap
+	e.orig = c
+	e.cap = c - flow
+	if e.cap < 0 {
+		e.cap = 0
+	}
+	g.noteCapChange(old, c)
+	return drained
+}
+
+// noteCapChange keeps the cached maximum capacity exact across a
+// capacity update old -> new: raising past the max moves it, shrinking
+// the current maximum edge forces a rescan, and every other update
+// leaves the maximum untouched. Keeping the cache exact (not merely an
+// upper bound) matters because the derived tolerance feeds MaxFlow's
+// residual tests: a warm graph and a cold rebuild at the same
+// capacities must compute identical tolerances.
+func (g *Graph) noteCapChange(old, c float64) {
+	if !g.maxCapOK {
+		return
+	}
+	switch {
+	case c >= g.maxCap:
+		g.maxCap = c
+	case old >= g.maxCap:
+		g.maxCapOK = false
+	}
+}
+
+// ScaleSourceCaps multiplies the capacity of every forward edge leaving
+// the source of the last MaxFlow call by factor, draining flow that no
+// longer fits. It returns the total flow drained. The round loop of
+// internal/opt uses this rescaling when the conjectured phase speed
+// changes: the existing flow stays feasible (only shrunken edges drain),
+// so the warm flow survives the rescale.
+func (g *Graph) ScaleSourceCaps(factor float64) float64 {
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor < 0 {
+		panic(fmt.Sprintf("flow: invalid scale factor %v", factor))
+	}
+	s, _ := g.stEndpoints()
+	g.build()
+	var drained float64
+	for i := g.adjOff[s]; i < g.adjOff[s+1]; i++ {
+		id := g.adjLst[i]
+		if id&1 != 0 {
+			continue // reverse edge into the source
+		}
+		drained += g.SetCapacity(EdgeID(id), g.edges[id].orig*factor)
+	}
+	return drained
+}
+
+// RemoveJobEdge takes the vertex at the head of source edge id out of the
+// network: every unit of flow routed through that vertex is drained by
+// walking its outgoing positive-flow edges and canceling them along
+// residual paths back to the source (and on to the sink), and then the
+// capacities of the vertex's forward edges — id itself and all its
+// out-edges — are zeroed so re-augmentation can never route through it
+// again. It returns the total flow drained. The name reflects the one
+// caller shape: in G(J, m, s) the head of a source edge is a job vertex,
+// and removal expels the job from the conjectured phase set.
+func (g *Graph) RemoveJobEdge(id EdgeID) float64 {
+	g.stEndpoints()
+	g.build()
+	e := g.fwd(id)
+	v := e.to
+	tol := g.tolerance()
+	var drained float64
+	for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+		out := g.adjLst[i]
+		if out&1 != 0 {
+			continue
+		}
+		oe := &g.edges[out]
+		// Flow at or below the tolerance is rounding dust left behind by
+		// Dinic's reverse-edge cancellations; zeroing the capacities
+		// below discards it without a drain walk.
+		if oe.orig-oe.cap > tol {
+			drained += g.reduceEdgeFlowTo(out, 0)
+		}
+		g.noteCapChange(oe.orig, 0)
+		oe.orig = 0
+		oe.cap = 0
+		g.edges[out^1].cap = 0
+	}
+	g.noteCapChange(e.orig, 0)
+	e.orig = 0
+	e.cap = 0
+	g.edges[id^1].cap = 0
+	return drained
+}
+
+// reduceEdgeFlowTo cancels flow on forward edge eid until it is at most
+// target, rerouting nothing: each canceled unit is removed along one
+// flow-carrying path source -> ... -> eid -> ... -> sink, so the
+// remaining flow is again a feasible s-t flow of smaller value. Returns
+// the amount canceled.
+func (g *Graph) reduceEdgeFlowTo(eid int32, target float64) float64 {
+	s, t := g.stEndpoints()
+	g.build()
+	tol := g.tolerance()
+	e := &g.edges[eid]
+	var removed float64
+	for iter := 0; e.orig-e.cap > target+tol; iter++ {
+		if iter > len(g.edges)+2 {
+			panic("flow: drain failed to converge (cyclic flow?)")
+		}
+		d := (e.orig - e.cap) - target
+		// Walk flow-carrying edges from the head down to t and from the
+		// tail up to s; the cancelable amount is the path bottleneck.
+		// Edges at or below the tolerance carry only rounding dust and
+		// are not followed — each drained unit travels a path of real
+		// flow, so the bottleneck stays strictly positive.
+		down, ok := g.flowPathDown(int(e.to), t, tol)
+		if !ok {
+			panic("flow: no flow-carrying path to sink while draining")
+		}
+		up, ok := g.flowPathUp(int(e.from), s, tol)
+		if !ok {
+			panic("flow: no flow-carrying path to source while draining")
+		}
+		for _, pid := range down {
+			pe := &g.edges[pid]
+			d = math.Min(d, pe.orig-pe.cap)
+		}
+		for _, pid := range up {
+			pe := &g.edges[pid]
+			d = math.Min(d, pe.orig-pe.cap)
+		}
+		if d <= 0 {
+			// Residual dust below fp resolution: snap the edge to target.
+			e.cap = e.orig - target
+			g.edges[eid^1].cap = target
+			break
+		}
+		g.cancel(eid, d)
+		for _, pid := range down {
+			g.cancel(pid, d)
+		}
+		for _, pid := range up {
+			g.cancel(pid, d)
+		}
+		removed += d
+	}
+	return removed
+}
+
+// cancel removes d units of flow from forward edge id, snapping exactly
+// to zero flow when d equals the current flow.
+func (g *Graph) cancel(id int32, d float64) {
+	e := &g.edges[id]
+	nf := (e.orig - e.cap) - d
+	if nf < 0 {
+		nf = 0
+	}
+	e.cap = e.orig - nf
+	g.edges[id^1].cap = nf
+}
+
+// flowPathDown returns forward-edge ids of a positive-flow path from v to
+// t (empty when v == t). The walk follows the first flow-carrying
+// out-edge at each step; by conservation it cannot get stuck before t on
+// an acyclic flow.
+func (g *Graph) flowPathDown(v, t int, tol float64) ([]int32, bool) {
+	path := g.queue[:0]
+	for steps := 0; v != t; steps++ {
+		if steps > g.nv {
+			return nil, false
+		}
+		found := false
+		for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+			id := g.adjLst[i]
+			if id&1 != 0 {
+				continue
+			}
+			e := &g.edges[id]
+			if e.orig-e.cap > tol {
+				path = append(path, id)
+				v = int(e.to)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	g.queue = path[:0]
+	return path, true
+}
+
+// flowPathUp returns forward-edge ids of a positive-flow path from s to
+// v, found by walking flow-carrying in-edges backward from v.
+func (g *Graph) flowPathUp(v, s int, tol float64) ([]int32, bool) {
+	// Allocated separately so down- and up-paths coexist (flowPathDown
+	// owns the queue scratch).
+	path := make([]int32, 0, 8)
+	for steps := 0; v != s; steps++ {
+		if steps > g.nv {
+			return nil, false
+		}
+		found := false
+		for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+			id := g.adjLst[i]
+			if id&1 == 0 {
+				continue // forward edge leaving v
+			}
+			fe := &g.edges[id^1] // forward partner: an edge into v
+			if fe.orig-fe.cap > tol {
+				path = append(path, id^1)
+				v = int(fe.from)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return path, true
+}
+
+// CoReachable reports, for every vertex, whether the sink t is reachable
+// from it in the residual graph of the current flow. For a maximum flow
+// this set is the sink side of the maximal minimum cut, which is the
+// same for every maximum flow of the network — internal/opt uses it to
+// make flow-invariant (hence warm/cold-identical) job-removal decisions.
+// The returned slice is scratch owned by the graph, valid until the next
+// call into it.
+func (g *Graph) CoReachable(t int) []bool {
+	g.build()
+	g.ensureScratch(g.nv)
+	mark := g.mark
+	for i := range mark {
+		mark[i] = false
+	}
+	tol := g.tolerance()
+	mark[t] = true
+	queue := append(g.queue[:0], int32(t))
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+			id := g.adjLst[i]
+			// The partner edge runs e.to -> v; it is a residual edge of
+			// the reversed direction when its capacity remains positive.
+			if g.edges[id^1].cap > tol {
+				u := g.edges[id].to
+				if !mark[u] {
+					mark[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	g.queue = queue[:0]
+	return mark
 }

@@ -11,8 +11,17 @@ import (
 // this package: the scheduler's networks are shallow and wide, and the
 // E11 ablation experiment measures which solver wins on them. The two
 // implementations also cross-check each other in the property tests.
+// It shares the flat edge layout and EdgeID scheme of Graph, but not the
+// incremental warm-start API (push-relabel maintains a preflow, not a
+// feasible flow, so mid-run capacity edits have no clean invariant).
 type PRGraph struct {
-	adj    [][]edge
+	edges []edge
+	nv    int
+
+	adjOff []int32
+	adjLst []int32
+	csrOK  bool
+
 	maxCap float64
 	tol    float64
 	ops    PROps
@@ -41,14 +50,26 @@ func (g *PRGraph) Ops() PROps { return g.ops }
 
 // NewPRGraph returns an empty push-relabel network with n vertices.
 func NewPRGraph(n int) *PRGraph {
+	g := &PRGraph{}
+	g.Reset(n)
+	return g
+}
+
+// Reset re-initializes the graph to n empty vertices, reusing backing
+// arrays.
+func (g *PRGraph) Reset(n int) {
 	if n < 2 {
 		panic(fmt.Sprintf("flow: graph needs >= 2 vertices, got %d", n))
 	}
-	return &PRGraph{adj: make([][]edge, n)}
+	g.nv = n
+	g.edges = g.edges[:0]
+	g.csrOK = false
+	g.maxCap = 0
+	g.ops = PROps{}
 }
 
 // N returns the number of vertices.
-func (g *PRGraph) N() int { return len(g.adj) }
+func (g *PRGraph) N() int { return g.nv }
 
 func (g *PRGraph) tolerance() float64 {
 	if g.tol > 0 {
@@ -62,8 +83,8 @@ func (g *PRGraph) SetTolerance(tol float64) { g.tol = tol }
 
 // AddEdge adds a directed edge and returns its identifier.
 func (g *PRGraph) AddEdge(from, to int, capacity float64) EdgeID {
-	if from < 0 || from >= len(g.adj) || to < 0 || to >= len(g.adj) {
-		panic(fmt.Sprintf("flow: edge %d->%d out of range [0,%d)", from, to, len(g.adj)))
+	if from < 0 || from >= g.nv || to < 0 || to >= g.nv {
+		panic(fmt.Sprintf("flow: edge %d->%d out of range [0,%d)", from, to, g.nv))
 	}
 	if from == to {
 		panic("flow: self-loop")
@@ -72,23 +93,46 @@ func (g *PRGraph) AddEdge(from, to int, capacity float64) EdgeID {
 		panic(fmt.Sprintf("flow: invalid capacity %v", capacity))
 	}
 	g.maxCap = math.Max(g.maxCap, capacity)
-	g.adj[from] = append(g.adj[from], edge{to: to, cap: capacity, orig: capacity, rev: len(g.adj[to])})
-	g.adj[to] = append(g.adj[to], edge{to: from, cap: 0, orig: 0, rev: len(g.adj[from]) - 1})
-	return EdgeID{from: from, idx: len(g.adj[from]) - 1}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges,
+		edge{from: int32(from), to: int32(to), cap: capacity, orig: capacity},
+		edge{from: int32(to), to: int32(from), cap: 0, orig: 0},
+	)
+	g.csrOK = false
+	return id
+}
+
+func (g *PRGraph) fwd(id EdgeID) *edge {
+	if id < 0 || int(id) >= len(g.edges) || id&1 != 0 {
+		panic(fmt.Sprintf("flow: invalid edge id %d", id))
+	}
+	return &g.edges[id]
 }
 
 // Flow returns the flow currently on the edge.
 func (g *PRGraph) Flow(id EdgeID) float64 {
-	e := g.adj[id.from][id.idx]
+	e := g.fwd(id)
 	return e.orig - e.cap
 }
 
 // Capacity returns the original capacity of the edge.
-func (g *PRGraph) Capacity(id EdgeID) float64 { return g.adj[id.from][id.idx].orig }
+func (g *PRGraph) Capacity(id EdgeID) float64 { return g.fwd(id).orig }
 
 // Saturated reports whether the edge is (numerically) at capacity.
 func (g *PRGraph) Saturated(id EdgeID) bool {
-	return g.adj[id.from][id.idx].cap <= g.tolerance()
+	return g.fwd(id).cap <= g.tolerance()
+}
+
+func (g *PRGraph) build() {
+	if g.csrOK {
+		return
+	}
+	n := g.nv
+	g.adjOff = growInt32(g.adjOff, n+1)
+	g.adjLst = growInt32(g.adjLst, len(g.edges))
+	cursor := make([]int32, n)
+	buildCSR(n, len(g.edges), func(i int) int32 { return g.edges[i].from }, g.adjOff, g.adjLst, cursor)
+	g.csrOK = true
 }
 
 // MaxFlow computes a maximum s-t flow and returns its value.
@@ -96,7 +140,8 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 	if s == t {
 		panic("flow: source equals sink")
 	}
-	n := len(g.adj)
+	g.build()
+	n := g.nv
 	tol := g.tolerance()
 	height := make([]int, n)
 	excess := make([]float64, n)
@@ -106,16 +151,18 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 
 	var pushes, relabels, gapFirings, discharges int64
 
-	push := func(v int, e *edge) {
+	push := func(v int, eid int32) {
 		pushes++
+		e := &g.edges[eid]
 		d := math.Min(excess[v], e.cap)
 		e.cap -= d
-		g.adj[e.to][e.rev].cap += d
+		g.edges[eid^1].cap += d
 		excess[v] -= d
-		excess[e.to] += d
-		if e.to != s && e.to != t && !inQueue[e.to] && excess[e.to] > tol {
-			inQueue[e.to] = true
-			queue = append(queue, e.to)
+		to := int(e.to)
+		excess[to] += d
+		if to != s && to != t && !inQueue[to] && excess[to] > tol {
+			inQueue[to] = true
+			queue = append(queue, to)
 		}
 	}
 
@@ -123,17 +170,18 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 	height[s] = n
 	count[0] = n - 1
 	count[n] = 1
-	for i := range g.adj[s] {
-		e := &g.adj[s][i]
-		if e.orig > 0 {
-			excess[s] += e.cap
-			push(s, e)
+	for i := g.adjOff[s]; i < g.adjOff[s+1]; i++ {
+		eid := g.adjLst[i]
+		if g.edges[eid].orig > 0 {
+			excess[s] += g.edges[eid].cap
+			push(s, eid)
 		}
 	}
 
 	relabel := func(v int) {
 		minH := 2 * n
-		for _, e := range g.adj[v] {
+		for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+			e := &g.edges[g.adjLst[i]]
 			if e.cap > tol && height[e.to] < minH {
 				minH = height[e.to]
 			}
@@ -165,10 +213,11 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 			// Push along every admissible edge. Heights of neighbours do
 			// not change during the scan, so one full pass either drains
 			// the excess or leaves no admissible edge.
-			for i := range g.adj[v] {
-				e := &g.adj[v][i]
+			for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+				eid := g.adjLst[i]
+				e := &g.edges[eid]
 				if e.cap > tol && height[v] == height[e.to]+1 {
-					push(v, e)
+					push(v, eid)
 					if excess[v] <= tol {
 						break
 					}

@@ -121,6 +121,10 @@ func OA(in *job.Instance, opts ...Option) (*OAResult, error) {
 	res := &OAResult{Schedule: schedule.New(in.M)}
 	_, horizon := in.Horizon()
 
+	// One solver arena for the whole arrival sequence: each replan reuses
+	// the previous event's flow-network allocations.
+	solver := opt.NewSolver()
+
 	for ei, t0 := range events {
 		// Live jobs: released, unfinished, deadline not passed.
 		var live []job.Job
@@ -145,7 +149,7 @@ func OA(in *job.Instance, opts ...Option) (*OAResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("online: OA replan at %g: %w", t0, err)
 		}
-		plan, err := opt.Schedule(sub, opt.WithRecorder(rec), opt.UnderSpan(ev))
+		plan, err := solver.Schedule(sub, opt.WithRecorder(rec), opt.UnderSpan(ev))
 		if err != nil {
 			return nil, fmt.Errorf("online: OA replan at %g: %w", t0, err)
 		}

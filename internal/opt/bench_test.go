@@ -1,0 +1,72 @@
+package opt
+
+import (
+	"testing"
+
+	"mpss/internal/obs"
+	"mpss/internal/workload"
+)
+
+// The benchmark family behind `make bench` and BENCH_opt.json: the
+// optimal solver at increasing instance sizes, warm (default incremental
+// engine) and cold (rebuild the flow network every round — the baseline
+// the tentpole replaces). Custom metrics expose the solver-internal
+// counters next to ns/op.
+func benchOptSchedule(b *testing.B, n int, cold bool) {
+	in, err := workload.Uniform(workload.Spec{N: n, M: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []Option{}
+	if cold {
+		opts = append(opts, ColdStart())
+	}
+	rec := obs.New()
+	s := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(in, append(opts, WithRecorder(rec))...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	snap := rec.Snapshot()
+	div := float64(b.N)
+	b.ReportMetric(float64(snap.Counters["opt.rounds"])/div, "opt.rounds/op")
+	b.ReportMetric(float64(snap.Counters["flow.warm_hits"])/div, "flow.warm_hits/op")
+	b.ReportMetric(float64(snap.Counters["opt.graph_rebuilds"])/div, "opt.graph_rebuilds/op")
+}
+
+func BenchmarkOptSchedule64Jobs(b *testing.B)   { benchOptSchedule(b, 64, false) }
+func BenchmarkOptSchedule256Jobs(b *testing.B)  { benchOptSchedule(b, 256, false) }
+func BenchmarkOptSchedule1024Jobs(b *testing.B) { benchOptSchedule(b, 1024, false) }
+
+func BenchmarkOptScheduleCold64Jobs(b *testing.B)   { benchOptSchedule(b, 64, true) }
+func BenchmarkOptScheduleCold256Jobs(b *testing.B)  { benchOptSchedule(b, 256, true) }
+func BenchmarkOptScheduleCold1024Jobs(b *testing.B) { benchOptSchedule(b, 1024, true) }
+
+// Feasibility probes ride the pooled-arena path (AcquireGraph); this
+// guards the admission-control latency the online planner depends on.
+func BenchmarkFeasibleAtSpeed256Jobs(b *testing.B) {
+	in, err := workload.Uniform(workload.Spec{N: 256, M: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Schedule(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cap := res.Phases[0].Speed * 1.01
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := FeasibleAtSpeed(in, cap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.Fatal("expected feasible")
+		}
+	}
+}

@@ -37,7 +37,8 @@ func FeasibleAtSpeedObserved(in *job.Instance, s float64, rec *obs.Recorder) (bo
 		node++
 	}
 	sink := node
-	g := flow.NewGraph(node + 1)
+	g := flow.AcquireGraph(node + 1)
+	defer flow.ReleaseGraph(g)
 
 	var demand float64
 	for k, j := range in.Jobs {

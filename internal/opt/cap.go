@@ -30,7 +30,8 @@ func ScheduleAtCap(in *job.Instance, cap float64) (*schedule.Schedule, error) {
 		node++
 	}
 	sink := node
-	g := flow.NewGraph(node + 1)
+	g := flow.AcquireGraph(node + 1)
+	defer flow.ReleaseGraph(g)
 
 	type midEdge struct {
 		jobIdx, ivIdx int

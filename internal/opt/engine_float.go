@@ -1,0 +1,418 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"mpss/internal/flow"
+	"mpss/internal/job"
+	"mpss/internal/obs"
+)
+
+// floatEngine is the float64 fast path of the round loop. All slices are
+// arenas reused across phases and Schedule calls.
+//
+// Warm path (default): beginPhase builds G(J, m, s) once; every
+// rejection drains the removed job's flow and updates capacities in
+// place, and the next round's MaxFlow re-augments from the surviving
+// flow. When a phase accepts after at least one removal the flow is
+// canonicalized (ResetFlow + one solve from zero) so the emitted
+// per-interval times are bit-identical to what a cold rebuild of the
+// final network would produce — removed jobs and dead intervals survive
+// in the network only as zero-capacity edges, which Dinic's search never
+// traverses, so the augmentation sequence matches the cold one exactly.
+//
+// Capacities are re-set to the same absolute expressions the cold build
+// uses (work/speed, m_j*|I_j|) rather than multiplicatively rescaled:
+// float64 multiplication is not associative, and (w/s1)*(s1/s2) differs
+// from w/s2 in the last ulp, which would break the warm==cold guarantee.
+type floatEngine struct {
+	tol  float64
+	cold bool
+
+	in  *job.Instance
+	ivs []job.Interval
+	st  *Stats
+	rec *obs.Recorder
+
+	ivLen  []float64 // |I_j| per interval
+	jobIvs [][]int32 // per instance job: indices of intervals it is active in
+
+	// Per-phase state, all indexed by phase-initial candidate position.
+	span        *obs.Span
+	cand0       []int
+	alive       []bool
+	aliveCount  int
+	free        []int // per interval: m - used, fixed for the phase
+	activeCount []int // per interval: alive candidates active in it
+	byIv        [][]int32
+	mj          []int
+	totalWork   float64
+	totalTime   float64
+	speed       float64
+
+	// Flow network state (valid when needBuild is false).
+	g         *flow.Graph
+	needBuild bool
+	jobNode   []int32
+	ivNode    []int32
+	sink      int
+	srcEdges  []flow.EdgeID
+	sinkEdges []flow.EdgeID
+	midPos    []int32
+	midIv     []int32
+	midID     []flow.EdgeID
+	prevOps   flow.DinicOps
+	warmRound bool // true once the current network has been solved
+	removals  int
+	pending   int // candidate position selected for removal
+	accepted  []int
+}
+
+func (e *floatEngine) spanName(phase int) string { return fmt.Sprintf("phase %d", phase) }
+
+func (e *floatEngine) emptyErr() error {
+	return fmt.Errorf("opt: phase emptied its candidate set (numerical failure)")
+}
+
+func (e *floatEngine) prepare(in *job.Instance, ivs []job.Interval, st *Stats, rec *obs.Recorder) {
+	e.in, e.ivs, e.st, e.rec = in, ivs, st, rec
+	nIv := len(ivs)
+	e.ivLen = growFloats(e.ivLen, nIv)
+	for jx, iv := range ivs {
+		e.ivLen[jx] = iv.Len()
+	}
+	// The job×interval activity index, computed once per solve instead of
+	// once per round: jobIvs[k] lists the intervals job k is active in.
+	e.jobIvs = growLists(e.jobIvs, in.N())
+	for k, j := range in.Jobs {
+		e.jobIvs[k] = e.jobIvs[k][:0]
+		for jx, iv := range ivs {
+			if j.ActiveIn(iv.Start, iv.End) {
+				e.jobIvs[k] = append(e.jobIvs[k], int32(jx))
+			}
+		}
+	}
+}
+
+func (e *floatEngine) beginPhase(used, cand []int, span *obs.Span) bool {
+	e.span = span
+	e.cand0 = append(e.cand0[:0], cand...)
+	n := len(cand)
+	e.alive = growBools(e.alive, n)
+	for pos := range e.alive {
+		e.alive[pos] = true
+	}
+	e.aliveCount = n
+	nIv := len(e.ivs)
+	e.free = growInts(e.free, nIv)
+	e.activeCount = growInts(e.activeCount, nIv)
+	e.mj = growInts(e.mj, nIv)
+	e.byIv = growLists(e.byIv, nIv)
+	for jx := range e.byIv[:nIv] {
+		e.free[jx] = max(0, e.in.M-used[jx])
+		e.activeCount[jx] = 0
+		e.byIv[jx] = e.byIv[jx][:0]
+	}
+	for pos, k := range cand {
+		for _, jx := range e.jobIvs[k] {
+			e.byIv[jx] = append(e.byIv[jx], int32(pos))
+			e.activeCount[jx]++
+		}
+	}
+	e.removals = 0
+	e.needBuild = true
+	for jx := 0; jx < nIv; jx++ {
+		e.mj[jx] = min(e.activeCount[jx], e.free[jx])
+	}
+	e.recomputeTotals()
+	if e.totalTime <= 0 {
+		return true
+	}
+	e.speed = e.totalWork / e.totalTime
+	e.buildGraph()
+	return false
+}
+
+// recomputeTotals recomputes totalWork and totalTime from scratch after
+// every change to the candidate set. Incremental subtraction would be
+// O(1) but floats are not associative: summing fresh, in the same index
+// order as a cold build, keeps the conjectured speed bit-identical to
+// the cold path's.
+func (e *floatEngine) recomputeTotals() {
+	tw := 0.0
+	for pos, k := range e.cand0 {
+		if e.alive[pos] {
+			tw += e.in.Jobs[k].Work
+		}
+	}
+	tt := 0.0
+	for jx := range e.ivs {
+		tt += float64(e.mj[jx]) * e.ivLen[jx]
+	}
+	e.totalWork, e.totalTime = tw, tt
+}
+
+// buildGraph constructs G(J, m, s) for the current alive candidate set.
+// The warm path calls it once per phase; the cold path once per round.
+func (e *floatEngine) buildGraph() {
+	nIv := len(e.ivs)
+	// Vertex layout: 0 = source, then alive jobs, then intervals with
+	// mj > 0, last = sink.
+	e.jobNode = growInt32s(e.jobNode, len(e.cand0))
+	node := 1
+	for pos := range e.cand0 {
+		if e.alive[pos] {
+			e.jobNode[pos] = int32(node)
+			node++
+		} else {
+			e.jobNode[pos] = -1
+		}
+	}
+	e.ivNode = growInt32s(e.ivNode, nIv)
+	for jx := 0; jx < nIv; jx++ {
+		if e.mj[jx] > 0 {
+			e.ivNode[jx] = int32(node)
+			node++
+		} else {
+			e.ivNode[jx] = -1
+		}
+	}
+	e.sink = node
+	if e.g == nil {
+		e.g = flow.NewGraph(node + 1)
+	} else {
+		e.g.Reset(node + 1)
+	}
+	if node+1 > e.st.FlowVertices {
+		e.st.FlowVertices = node + 1
+	}
+	e.srcEdges = growEdgeIDs(e.srcEdges, len(e.cand0))
+	for pos, k := range e.cand0 {
+		if e.alive[pos] {
+			e.srcEdges[pos] = e.g.AddEdge(0, int(e.jobNode[pos]), e.in.Jobs[k].Work/e.speed)
+		}
+	}
+	e.midPos = e.midPos[:0]
+	e.midIv = e.midIv[:0]
+	e.midID = e.midID[:0]
+	e.sinkEdges = growEdgeIDs(e.sinkEdges, nIv)
+	for jx := 0; jx < nIv; jx++ {
+		if e.mj[jx] == 0 {
+			continue
+		}
+		for _, pos := range e.byIv[jx] {
+			if !e.alive[pos] {
+				continue
+			}
+			id := e.g.AddEdge(int(e.jobNode[pos]), int(e.ivNode[jx]), e.ivLen[jx])
+			e.midPos = append(e.midPos, pos)
+			e.midIv = append(e.midIv, int32(jx))
+			e.midID = append(e.midID, id)
+		}
+		e.sinkEdges[jx] = e.g.AddEdge(int(e.ivNode[jx]), e.sink, float64(e.mj[jx])*e.ivLen[jx])
+	}
+	e.rec.Add("opt.graph_rebuilds", 1)
+	e.prevOps = flow.DinicOps{}
+	e.warmRound = false
+	e.needBuild = false
+}
+
+// publish flushes the ops delta of the last MaxFlow call.
+func (e *floatEngine) publish() {
+	ops := e.g.Ops()
+	publishDinic(e.rec, e.span, ops.Sub(e.prevOps))
+	e.prevOps = ops
+}
+
+func (e *floatEngine) solveRound() bool {
+	if e.needBuild {
+		e.buildGraph()
+	}
+	stop := e.rec.Time("opt.flow_solve_seconds")
+	e.g.MaxFlow(0, e.sink)
+	stop()
+	if e.warmRound {
+		e.rec.Add("flow.warm_hits", 1)
+	}
+	e.warmRound = true
+	e.publish()
+
+	var value float64
+	for pos := range e.cand0 {
+		if e.alive[pos] {
+			value += e.g.Flow(e.srcEdges[pos])
+		}
+	}
+	slack := e.tol * math.Max(1, e.totalTime)
+	if value >= e.totalTime-slack {
+		return true
+	}
+	// Rejected: select the excluded job by the flow-invariant rule. A
+	// candidate can reach the sink in the residual graph exactly when
+	// some maximum flow leaves both one of its interval edges and that
+	// interval's sink edge unsaturated — the exclusion condition of the
+	// paper's Lemma 4 — and the co-reachable set is the same for every
+	// maximum flow, so warm and cold solves remove the same job.
+	mark := e.g.CoReachable(e.sink)
+	e.pending = -1
+	for pos := range e.cand0 {
+		if e.alive[pos] && mark[e.jobNode[pos]] {
+			e.pending = pos
+			break
+		}
+	}
+	// No excludable candidate despite the value shortfall: only possible
+	// through accumulated rounding. Accept, as the cold path always has.
+	return e.pending < 0
+}
+
+func (e *floatEngine) removeExcluded() (degenerate, empty bool) {
+	pos := e.pending
+	k := e.cand0[pos]
+	e.alive[pos] = false
+	e.aliveCount--
+	if e.aliveCount == 0 {
+		return false, true
+	}
+	var drained float64
+	if !e.cold {
+		drained += e.g.RemoveJobEdge(e.srcEdges[pos])
+	}
+	for _, jx := range e.jobIvs[k] {
+		e.activeCount[jx]--
+		nm := min(e.activeCount[jx], e.free[jx])
+		if nm < e.mj[jx] {
+			e.mj[jx] = nm
+			if !e.cold && e.ivNode[jx] >= 0 {
+				drained += e.g.SetCapacity(e.sinkEdges[jx], float64(nm)*e.ivLen[jx])
+			}
+		}
+	}
+	e.recomputeTotals()
+	if e.totalTime <= 0 {
+		e.needBuild = true
+		return true, false
+	}
+	e.speed = e.totalWork / e.totalTime
+	if e.cold {
+		e.needBuild = true
+		return false, false
+	}
+	e.removals++
+	for pos2, k2 := range e.cand0 {
+		if e.alive[pos2] {
+			drained += e.g.SetCapacity(e.srcEdges[pos2], e.in.Jobs[k2].Work/e.speed)
+		}
+	}
+	e.rec.Add("flow.drained_units", int64(drained+0.5))
+	return false, false
+}
+
+func (e *floatEngine) dropLeastWork() (degenerate, empty bool) {
+	best := -1
+	for pos, k := range e.cand0 {
+		if e.alive[pos] && (best < 0 || e.in.Jobs[k].Work < e.in.Jobs[e.cand0[best]].Work) {
+			best = pos
+		}
+	}
+	k := e.cand0[best]
+	e.alive[best] = false
+	e.aliveCount--
+	if e.aliveCount == 0 {
+		return false, true
+	}
+	for _, jx := range e.jobIvs[k] {
+		e.activeCount[jx]--
+		e.mj[jx] = min(e.activeCount[jx], e.free[jx])
+	}
+	e.recomputeTotals()
+	if e.totalTime <= 0 {
+		return true, false
+	}
+	e.speed = e.totalWork / e.totalTime
+	e.needBuild = true
+	return false, false
+}
+
+func (e *floatEngine) accept() (float64, []int, map[int][]pieceTime) {
+	if !e.cold && e.removals > 0 {
+		// Canonicalize: one solve from zero on the updated network. The
+		// zero-capacity remnants of removed jobs never enter Dinic's
+		// search, so this reproduces the cold path's flow bit-exactly
+		// while still skipping the per-round rebuild-and-resolve work.
+		e.g.ResetFlow()
+		stop := e.rec.Time("opt.flow_solve_seconds")
+		e.g.MaxFlow(0, e.sink)
+		stop()
+		e.publish()
+	}
+	tkj := make(map[int][]pieceTime, e.aliveCount)
+	for i, pos := range e.midPos {
+		if !e.alive[pos] {
+			continue
+		}
+		// Collect every positive flow: dropping pieces at the slack
+		// threshold would lose work proportional to the edge count on
+		// large instances.
+		if f := e.g.Flow(e.midID[i]); f > 1e-15 {
+			k := e.cand0[pos]
+			tkj[k] = append(tkj[k], pieceTime{ivIdx: int(e.midIv[i]), t: f})
+		}
+	}
+	return e.speed, e.mj, tkj
+}
+
+func (e *floatEngine) acceptedCand() []int {
+	e.accepted = e.accepted[:0]
+	for pos, k := range e.cand0 {
+		if e.alive[pos] {
+			e.accepted = append(e.accepted, k)
+		}
+	}
+	return e.accepted
+}
+
+// Arena slice helpers: resize preserving backing arrays.
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growEdgeIDs(s []flow.EdgeID, n int) []flow.EdgeID {
+	if cap(s) < n {
+		return make([]flow.EdgeID, n)
+	}
+	return s[:n]
+}
+
+func growLists(s [][]int32, n int) [][]int32 {
+	for len(s) < n {
+		s = append(s, nil)
+	}
+	return s[:n]
+}

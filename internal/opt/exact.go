@@ -7,163 +7,349 @@ import (
 	"mpss/internal/flow"
 	"mpss/internal/job"
 	"mpss/internal/obs"
-	"mpss/internal/schedule"
 )
 
-// exactSolve mirrors floatSolve with exact rational arithmetic for every
-// phase decision. float64 inputs are converted losslessly (every finite
-// float64 is a rational), so saturation tests and job removals are exact;
-// only the final segment emission rounds back to float64.
-func exactSolve(in *job.Instance, rec *obs.Recorder, parent *obs.Span) (*Result, error) {
-	ivs := job.Partition(in.Jobs)
-	used := make([]int, len(ivs))
-	remaining := make([]int, 0, in.N())
-	for i := range in.Jobs {
-		remaining = append(remaining, i)
-	}
+// exactEngine mirrors floatEngine with exact rational arithmetic for
+// every phase decision. float64 inputs are converted losslessly (every
+// finite float64 is a rational), so saturation tests and job removals
+// are exact; only the final segment emission rounds back to float64.
+//
+// The warm path reuses the float engine's structure — build once per
+// phase, drain the removed job, rescale, re-augment — but because the
+// arithmetic is exact it can rescale the source capacities
+// multiplicatively with flow.RatGraph.ScaleSourceCaps: w/s_old *
+// (s_old/s_new) equals w/s_new as a rational, so no absolute re-set is
+// needed for warm and cold to agree exactly.
+type exactEngine struct {
+	cold bool
 
-	res := &Result{Schedule: schedule.New(in.M), Intervals: ivs}
+	in  *job.Instance
+	ivs []job.Interval
+	st  *Stats
+	rec *obs.Recorder
 
-	ivLen := make([]*big.Rat, len(ivs))
-	for jx, iv := range ivs {
-		ivLen[jx] = new(big.Rat).SetFloat64(iv.Len())
-	}
-	work := make([]*big.Rat, in.N())
-	for i, j := range in.Jobs {
-		work[i] = new(big.Rat).SetFloat64(j.Work)
-	}
+	ivLen  []*big.Rat
+	work   []*big.Rat
+	jobIvs [][]int32
 
-	for len(remaining) > 0 {
-		span := parent.StartSpan(fmt.Sprintf("phase %d (exact)", len(res.Phases)+1))
-		span.Add("candidates", int64(len(remaining)))
-		cand := append([]int(nil), remaining...)
-		var (
-			speed *big.Rat
-			mj    []int
-			tkj   map[int][]pieceTime
-		)
-		for {
-			res.Stats.Rounds++
-			rec.Add("opt.rounds", 1)
-			var found bool
-			var removed int
-			found, removed, speed, mj, tkj = exactRound(in, ivs, ivLen, work, used, cand, &res.Stats, rec, span)
-			if found {
-				break
-			}
-			rec.Add("opt.jobs_removed", 1)
-			span.Add("jobs_removed", 1)
-			cand = deleteIndex(cand, removed)
-			if len(cand) == 0 {
-				return nil, fmt.Errorf("opt: exact phase emptied its candidate set")
-			}
-		}
-		sp, _ := speed.Float64()
-		if err := emitPhase(in, ivs, used, cand, sp, mj, tkj, res); err != nil {
-			return nil, err
-		}
-		rec.Add("opt.phases", 1)
-		span.Add("jobs_saturated", int64(len(cand)))
-		span.SetValue("speed", sp)
-		span.End()
-		remaining = subtract(remaining, cand)
-	}
+	span        *obs.Span
+	cand0       []int
+	alive       []bool
+	aliveCount  int
+	free        []int
+	activeCount []int
+	byIv        [][]int32
+	mj          []int
+	totalWork   *big.Rat
+	totalTime   *big.Rat
+	speed       *big.Rat
 
-	res.Schedule.Normalize()
-	return res, nil
+	g         *flow.RatGraph
+	needBuild bool
+	jobNode   []int32
+	ivNode    []int32
+	sink      int
+	srcEdges  []flow.EdgeID
+	sinkEdges []flow.EdgeID
+	midPos    []int32
+	midIv     []int32
+	midID     []flow.EdgeID
+	prevOps   flow.DinicOps
+	removals  int
+	pending   int
+	accepted  []int
 }
 
-func exactRound(in *job.Instance, ivs []job.Interval, ivLen []*big.Rat, work []*big.Rat, used, cand []int, st *Stats, rec *obs.Recorder, span *obs.Span) (found bool, removed int, speed *big.Rat, mj []int, tkj map[int][]pieceTime) {
-	nIv := len(ivs)
-	mj = make([]int, nIv)
-	totalWork := new(big.Rat)
-	totalTime := new(big.Rat)
-	activeIn := make([][]int, nIv)
-	for jx, iv := range ivs {
-		free := in.M - used[jx]
-		if free < 0 {
-			free = 0
-		}
-		for pos, k := range cand {
-			if in.Jobs[k].ActiveIn(iv.Start, iv.End) {
-				activeIn[jx] = append(activeIn[jx], pos)
+func (e *exactEngine) spanName(phase int) string { return fmt.Sprintf("phase %d (exact)", phase) }
+
+func (e *exactEngine) emptyErr() error {
+	return fmt.Errorf("opt: exact phase emptied its candidate set")
+}
+
+func (e *exactEngine) prepare(in *job.Instance, ivs []job.Interval, st *Stats, rec *obs.Recorder) {
+	e.in, e.ivs, e.st, e.rec = in, ivs, st, rec
+	e.ivLen = e.ivLen[:0]
+	for _, iv := range ivs {
+		e.ivLen = append(e.ivLen, new(big.Rat).SetFloat64(iv.Len()))
+	}
+	e.work = e.work[:0]
+	for _, j := range in.Jobs {
+		e.work = append(e.work, new(big.Rat).SetFloat64(j.Work))
+	}
+	e.jobIvs = growLists(e.jobIvs, in.N())
+	for k, j := range in.Jobs {
+		e.jobIvs[k] = e.jobIvs[k][:0]
+		for jx, iv := range ivs {
+			if j.ActiveIn(iv.Start, iv.End) {
+				e.jobIvs[k] = append(e.jobIvs[k], int32(jx))
 			}
 		}
-		mj[jx] = min(len(activeIn[jx]), free)
-		totalTime.Add(totalTime, new(big.Rat).Mul(big.NewRat(int64(mj[jx]), 1), ivLen[jx]))
 	}
-	for _, k := range cand {
-		totalWork.Add(totalWork, work[k])
-	}
-	if totalTime.Sign() <= 0 {
-		return false, 0, nil, mj, nil
-	}
-	speed = new(big.Rat).Quo(totalWork, totalTime)
+}
 
-	ivNode := make([]int, nIv)
-	node := 1 + len(cand)
-	for jx := range ivs {
-		if mj[jx] > 0 {
-			ivNode[jx] = node
+func (e *exactEngine) beginPhase(used, cand []int, span *obs.Span) bool {
+	e.span = span
+	e.cand0 = append(e.cand0[:0], cand...)
+	n := len(cand)
+	e.alive = growBools(e.alive, n)
+	for pos := range e.alive {
+		e.alive[pos] = true
+	}
+	e.aliveCount = n
+	nIv := len(e.ivs)
+	e.free = growInts(e.free, nIv)
+	e.activeCount = growInts(e.activeCount, nIv)
+	e.mj = growInts(e.mj, nIv)
+	e.byIv = growLists(e.byIv, nIv)
+	for jx := range e.byIv {
+		e.free[jx] = max(0, e.in.M-used[jx])
+		e.activeCount[jx] = 0
+		e.byIv[jx] = e.byIv[jx][:0]
+	}
+	for pos, k := range cand {
+		for _, jx := range e.jobIvs[k] {
+			e.byIv[jx] = append(e.byIv[jx], int32(pos))
+			e.activeCount[jx]++
+		}
+	}
+	e.removals = 0
+	e.needBuild = true
+	for jx := 0; jx < nIv; jx++ {
+		e.mj[jx] = min(e.activeCount[jx], e.free[jx])
+	}
+	e.recomputeTotals()
+	if e.totalTime.Sign() <= 0 {
+		return true
+	}
+	e.speed = new(big.Rat).Quo(e.totalWork, e.totalTime)
+	e.buildGraph()
+	return false
+}
+
+func (e *exactEngine) recomputeTotals() {
+	tw := new(big.Rat)
+	for pos, k := range e.cand0 {
+		if e.alive[pos] {
+			tw.Add(tw, e.work[k])
+		}
+	}
+	tt := new(big.Rat)
+	term := new(big.Rat)
+	for jx := range e.ivs {
+		if e.mj[jx] > 0 {
+			term.SetInt64(int64(e.mj[jx]))
+			term.Mul(term, e.ivLen[jx])
+			tt.Add(tt, term)
+		}
+	}
+	e.totalWork, e.totalTime = tw, tt
+}
+
+func (e *exactEngine) buildGraph() {
+	nIv := len(e.ivs)
+	e.jobNode = growInt32s(e.jobNode, len(e.cand0))
+	node := 1
+	for pos := range e.cand0 {
+		if e.alive[pos] {
+			e.jobNode[pos] = int32(node)
 			node++
 		} else {
-			ivNode[jx] = -1
+			e.jobNode[pos] = -1
 		}
 	}
-	sink := node
-	g := flow.NewRatGraph(node + 1)
-	if node+1 > st.FlowVertices {
-		st.FlowVertices = node + 1
+	e.ivNode = growInt32s(e.ivNode, nIv)
+	for jx := 0; jx < nIv; jx++ {
+		if e.mj[jx] > 0 {
+			e.ivNode[jx] = int32(node)
+			node++
+		} else {
+			e.ivNode[jx] = -1
+		}
 	}
-
-	for pos, k := range cand {
-		g.AddEdge(0, 1+pos, new(big.Rat).Quo(work[k], speed))
+	e.sink = node
+	if e.g == nil {
+		e.g = flow.NewRatGraph(node + 1)
+	} else {
+		e.g.Reset(node + 1)
 	}
-	type jobIvEdge struct {
-		pos, ivIdx int
-		id         flow.EdgeID
+	if node+1 > e.st.FlowVertices {
+		e.st.FlowVertices = node + 1
 	}
-	var mid []jobIvEdge
-	sinkEdges := make(map[int]flow.EdgeID, nIv)
-	for jx := range ivs {
-		if mj[jx] == 0 {
+	c := new(big.Rat)
+	e.srcEdges = growEdgeIDs(e.srcEdges, len(e.cand0))
+	for pos, k := range e.cand0 {
+		if e.alive[pos] {
+			c.Quo(e.work[k], e.speed)
+			e.srcEdges[pos] = e.g.AddEdge(0, int(e.jobNode[pos]), c)
+		}
+	}
+	e.midPos = e.midPos[:0]
+	e.midIv = e.midIv[:0]
+	e.midID = e.midID[:0]
+	e.sinkEdges = growEdgeIDs(e.sinkEdges, nIv)
+	for jx := 0; jx < nIv; jx++ {
+		if e.mj[jx] == 0 {
 			continue
 		}
-		for _, pos := range activeIn[jx] {
-			id := g.AddEdge(1+pos, ivNode[jx], ivLen[jx])
-			mid = append(mid, jobIvEdge{pos: pos, ivIdx: jx, id: id})
+		for _, pos := range e.byIv[jx] {
+			if !e.alive[pos] {
+				continue
+			}
+			id := e.g.AddEdge(int(e.jobNode[pos]), int(e.ivNode[jx]), e.ivLen[jx])
+			e.midPos = append(e.midPos, pos)
+			e.midIv = append(e.midIv, int32(jx))
+			e.midID = append(e.midID, id)
 		}
-		sinkEdges[jx] = g.AddEdge(ivNode[jx], sink, new(big.Rat).Mul(big.NewRat(int64(mj[jx]), 1), ivLen[jx]))
+		c.SetInt64(int64(e.mj[jx]))
+		c.Mul(c, e.ivLen[jx])
+		e.sinkEdges[jx] = e.g.AddEdge(int(e.ivNode[jx]), e.sink, c)
 	}
+	e.rec.Add("opt.graph_rebuilds", 1)
+	e.prevOps = flow.DinicOps{}
+	e.needBuild = false
+}
 
-	stop := rec.Time("opt.flow_solve_seconds")
-	value := g.MaxFlow(0, sink)
+func (e *exactEngine) publish() {
+	ops := e.g.Ops()
+	publishExact(e.rec, e.span, ops.Sub(e.prevOps))
+	e.prevOps = ops
+}
+
+func (e *exactEngine) solveRound() bool {
+	if e.needBuild {
+		e.buildGraph()
+	}
+	stop := e.rec.Time("opt.flow_solve_seconds")
+	e.g.MaxFlow(0, e.sink)
 	stop()
-	publishExact(rec, span, g.Ops())
-	if value.Cmp(totalTime) >= 0 {
-		tkj = make(map[int][]pieceTime, len(cand))
-		for _, e := range mid {
-			f := g.Flow(e.id)
-			if f.Sign() > 0 {
-				fv, _ := f.Float64()
-				tkj[cand[e.pos]] = append(tkj[cand[e.pos]], pieceTime{ivIdx: e.ivIdx, t: fv})
+	if e.removals > 0 && !e.cold {
+		e.rec.Add("flow.warm_hits", 1)
+	}
+	e.publish()
+
+	value := new(big.Rat)
+	for pos := range e.cand0 {
+		if e.alive[pos] {
+			value.Add(value, e.g.Flow(e.srcEdges[pos]))
+		}
+	}
+	if value.Cmp(e.totalTime) >= 0 {
+		return true
+	}
+	mark := e.g.CoReachable(e.sink)
+	e.pending = -1
+	for pos := range e.cand0 {
+		if e.alive[pos] && mark[e.jobNode[pos]] {
+			e.pending = pos
+			break
+		}
+	}
+	// Unreachable by Lemma 4's counting argument; accept defensively.
+	return e.pending < 0
+}
+
+func (e *exactEngine) removeExcluded() (degenerate, empty bool) {
+	pos := e.pending
+	k := e.cand0[pos]
+	e.alive[pos] = false
+	e.aliveCount--
+	if e.aliveCount == 0 {
+		return false, true
+	}
+	drained := new(big.Rat)
+	if !e.cold {
+		drained.Add(drained, e.g.RemoveJobEdge(e.srcEdges[pos]))
+	}
+	c := new(big.Rat)
+	for _, jx := range e.jobIvs[k] {
+		e.activeCount[jx]--
+		nm := min(e.activeCount[jx], e.free[jx])
+		if nm < e.mj[jx] {
+			e.mj[jx] = nm
+			if !e.cold && e.ivNode[jx] >= 0 {
+				c.SetInt64(int64(nm))
+				c.Mul(c, e.ivLen[jx])
+				drained.Add(drained, e.g.SetCapacity(e.sinkEdges[jx], c))
 			}
 		}
-		return true, 0, speed, mj, tkj
 	}
+	oldSpeed := e.speed
+	e.recomputeTotals()
+	if e.totalTime.Sign() <= 0 {
+		e.needBuild = true
+		return true, false
+	}
+	e.speed = new(big.Rat).Quo(e.totalWork, e.totalTime)
+	if e.cold {
+		e.needBuild = true
+		return false, false
+	}
+	e.removals++
+	// Exact arithmetic: rescaling by s_old/s_new lands every source
+	// capacity exactly on w/s_new, so one ScaleSourceCaps call replaces
+	// the per-edge absolute updates of the float engine.
+	ratio := new(big.Rat).Quo(oldSpeed, e.speed)
+	drained.Add(drained, e.g.ScaleSourceCaps(ratio))
+	df, _ := drained.Float64()
+	e.rec.Add("flow.drained_units", int64(df+0.5))
+	return false, false
+}
 
-	// Exact: pick any unsaturated sink edge, then any unsaturated active
-	// job edge into it.
-	for jx, id := range sinkEdges {
-		if g.Saturated(id) {
+func (e *exactEngine) dropLeastWork() (degenerate, empty bool) {
+	best := -1
+	for pos, k := range e.cand0 {
+		if e.alive[pos] && (best < 0 || e.in.Jobs[k].Work < e.in.Jobs[e.cand0[best]].Work) {
+			best = pos
+		}
+	}
+	k := e.cand0[best]
+	e.alive[best] = false
+	e.aliveCount--
+	if e.aliveCount == 0 {
+		return false, true
+	}
+	for _, jx := range e.jobIvs[k] {
+		e.activeCount[jx]--
+		e.mj[jx] = min(e.activeCount[jx], e.free[jx])
+	}
+	e.recomputeTotals()
+	if e.totalTime.Sign() <= 0 {
+		return true, false
+	}
+	e.speed = new(big.Rat).Quo(e.totalWork, e.totalTime)
+	e.needBuild = true
+	return false, false
+}
+
+func (e *exactEngine) accept() (float64, []int, map[int][]pieceTime) {
+	if !e.cold && e.removals > 0 {
+		e.g.ResetFlow()
+		stop := e.rec.Time("opt.flow_solve_seconds")
+		e.g.MaxFlow(0, e.sink)
+		stop()
+		e.publish()
+	}
+	tkj := make(map[int][]pieceTime, e.aliveCount)
+	for i, pos := range e.midPos {
+		if !e.alive[pos] {
 			continue
 		}
-		for _, e := range mid {
-			if e.ivIdx == jx && !g.Saturated(e.id) {
-				return false, e.pos, speed, mj, nil
-			}
+		if f := e.g.Flow(e.midID[i]); f.Sign() > 0 {
+			fv, _ := f.Float64()
+			k := e.cand0[pos]
+			tkj[k] = append(tkj[k], pieceTime{ivIdx: int(e.midIv[i]), t: fv})
 		}
 	}
-	// Unreachable by Lemma 4's counting argument.
-	return false, 0, speed, mj, nil
+	sp, _ := e.speed.Float64()
+	return sp, e.mj, tkj
+}
+
+func (e *exactEngine) acceptedCand() []int {
+	e.accepted = e.accepted[:0]
+	for pos, k := range e.cand0 {
+		if e.alive[pos] {
+			e.accepted = append(e.accepted, k)
+		}
+	}
+	return e.accepted
 }

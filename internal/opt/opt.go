@@ -17,6 +17,19 @@
 // are per-interval execution times; McNaughton's wrap-around rule turns
 // them into an explicit schedule.
 //
+// Consecutive rounds of a phase differ only by one removed job and a
+// uniform rescaling of the source capacities, so the solver runs them on
+// an incremental flow engine: the network is built once per phase, each
+// rejection drains the removed job's flow and rescales capacities in
+// place (flow.RemoveJobEdge / flow.SetCapacity), and the next round
+// re-augments from the surviving feasible flow instead of restarting
+// Dinic at zero. The excluded job is chosen by a flow-invariant rule —
+// the first candidate whose node can still reach the sink in the
+// residual graph (flow.CoReachable) — so the warm path removes exactly
+// the jobs a cold from-scratch path would. See DESIGN.md ("Incremental
+// warm-started flow engine") for the invariants; ColdStart disables the
+// warm path for differential testing.
+//
 // Because the optimal speed levels depend only on the combinatorial
 // structure (not on the particular convex power function), the same
 // schedule is optimal for every convex non-decreasing P with P(0) = 0;
@@ -31,6 +44,7 @@ import (
 	"mpss/internal/flow"
 	"mpss/internal/job"
 	"mpss/internal/obs"
+	"mpss/internal/pool"
 	"mpss/internal/schedule"
 )
 
@@ -45,7 +59,7 @@ type Phase struct {
 // Stats collects counters for the runtime experiments (E2).
 type Stats struct {
 	Phases       int // p, the number of distinct speed levels
-	Rounds       int // total maximum-flow computations
+	Rounds       int // total flow-checked rounds (conjecture tests)
 	FlowVertices int // vertices of the largest flow network built
 }
 
@@ -62,6 +76,7 @@ type Option func(*config)
 
 type config struct {
 	exact bool
+	cold  bool
 	tol   float64
 	rec   *obs.Recorder
 	span  *obs.Span
@@ -71,6 +86,13 @@ type config struct {
 // Substantially slower, but immune to floating-point misclassification;
 // used by tests to cross-validate the float64 fast path.
 func Exact() Option { return func(c *config) { c.exact = true } }
+
+// ColdStart disables the incremental warm-start engine: every round
+// rebuilds the flow network from scratch and solves from zero flow, as
+// the paper's pseudo-code literally does. The differential tests and the
+// scaling benchmarks use it as the reference; production callers want
+// the (default) warm path.
+func ColdStart() Option { return func(c *config) { c.cold = true } }
 
 // WithTolerance sets the relative tolerance of the float64 fast path
 // (default 1e-9).
@@ -93,10 +115,34 @@ func UnderSpan(s *obs.Span) Option {
 	return func(c *config) { c.span = s }
 }
 
+// Solver is a reusable solver arena: the flow graphs, the job×interval
+// activity index and all round bookkeeping live in the Solver and are
+// recycled across Schedule calls, so steady-state solving does not
+// allocate graph storage. A Solver is not safe for concurrent use; use
+// one per goroutine (the package-level Schedule draws them from a pool).
+type Solver struct {
+	fe floatEngine
+	ee exactEngine
+}
+
+// NewSolver returns an empty solver arena.
+func NewSolver() *Solver { return &Solver{} }
+
+var solverPool pool.FreeList[Solver]
+
 // Schedule computes an energy-optimal schedule for the instance. The
 // returned schedule is feasible (verifiable with schedule.Verify) and
 // optimal for every convex non-decreasing power function with P(0) = 0.
+// It draws a pooled Solver; long-lived callers that solve repeatedly
+// (e.g. the online planner) hold their own Solver instead.
 func Schedule(in *job.Instance, opts ...Option) (*Result, error) {
+	s := solverPool.Get()
+	defer solverPool.Put(s)
+	return s.Schedule(in, opts...)
+}
+
+// Schedule computes an energy-optimal schedule reusing the solver arena.
+func (s *Solver) Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 	cfg := config{tol: 1e-9}
 	for _, o := range opts {
 		o(&cfg)
@@ -107,13 +153,51 @@ func Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 	if cfg.rec == nil {
 		cfg.rec = cfg.span.Recorder()
 	}
+	var eng phaseEngine
 	if cfg.exact {
-		return exactSolve(in, cfg.rec, cfg.span)
+		s.ee.cold = cfg.cold
+		eng = &s.ee
+	} else {
+		s.fe.tol = cfg.tol
+		s.fe.cold = cfg.cold
+		eng = &s.fe
 	}
-	return floatSolve(in, cfg.tol, cfg.rec, cfg.span)
+	return runPhases(in, eng, cfg.rec, cfg.span)
 }
 
-func floatSolve(in *job.Instance, tol float64, rec *obs.Recorder, parent *obs.Span) (*Result, error) {
+// phaseEngine is the round loop's arithmetic backend. floatEngine runs
+// it in float64, exactEngine in math/big.Rat; runPhases drives both so
+// the two paths cannot drift structurally.
+type phaseEngine interface {
+	// prepare is called once per solve: cache instance-wide state, most
+	// importantly the job×interval activity index.
+	prepare(in *job.Instance, ivs []job.Interval, st *Stats, rec *obs.Recorder)
+	// beginPhase conjectures cand as the next phase's job set and builds
+	// the flow network G(J, m, s) once. degenerate reports a network with
+	// no capacity at all (every m_ij = 0).
+	beginPhase(used, cand []int, span *obs.Span) (degenerate bool)
+	// solveRound (re-)solves the max flow and reports whether the
+	// conjecture was accepted. When it was not, the engine has already
+	// selected the excluded job for removeExcluded.
+	solveRound() (accepted bool)
+	// removeExcluded removes the job selected by the last solveRound
+	// from the network (draining its flow on the warm path).
+	removeExcluded() (degenerate, empty bool)
+	// dropLeastWork removes the least-work candidate; the driver calls
+	// it to make progress on degenerate (zero-capacity) networks.
+	dropLeastWork() (degenerate, empty bool)
+	// accept finalizes the phase: canonicalize the warm flow and return
+	// the phase speed, m_ij vector and per-job interval times.
+	accept() (speed float64, mj []int, tkj map[int][]pieceTime)
+	// acceptedCand returns the accepted candidate set (instance job
+	// indices, in input order). Valid until the next beginPhase.
+	acceptedCand() []int
+	spanName(phase int) string
+	emptyErr() error
+}
+
+// runPhases is the shared phase/round driver for both engines.
+func runPhases(in *job.Instance, eng phaseEngine, rec *obs.Recorder, parent *obs.Span) (*Result, error) {
 	ivs := job.Partition(in.Jobs)
 	used := make([]int, len(ivs)) // processors occupied by earlier phases
 	remaining := make([]int, 0, in.N())
@@ -122,33 +206,41 @@ func floatSolve(in *job.Instance, tol float64, rec *obs.Recorder, parent *obs.Sp
 	}
 
 	res := &Result{Schedule: schedule.New(in.M), Intervals: ivs}
+	eng.prepare(in, ivs, &res.Stats, rec)
 
 	for len(remaining) > 0 {
-		span := parent.StartSpan(fmt.Sprintf("phase %d", len(res.Phases)+1))
+		span := parent.StartSpan(eng.spanName(len(res.Phases) + 1))
 		span.Add("candidates", int64(len(remaining)))
-		cand := append([]int(nil), remaining...)
-		var (
-			speed float64
-			mj    []int
-			tkj   map[int][]pieceTime
-		)
+		degenerate := eng.beginPhase(used, remaining, span)
 		for {
 			res.Stats.Rounds++
 			rec.Add("opt.rounds", 1)
-			var found bool
-			var removed int
-			found, removed, speed, mj, tkj = floatRound(in, ivs, used, cand, tol, &res.Stats, rec, span)
-			if found {
+			if degenerate {
+				// No capacity anywhere: drop the candidate with the least
+				// work to make progress; this indicates a degenerate
+				// instance and ends in the emptied-candidate error below.
+				rec.Add("opt.jobs_removed", 1)
+				span.Add("jobs_removed", 1)
+				var empty bool
+				degenerate, empty = eng.dropLeastWork()
+				if empty {
+					return nil, eng.emptyErr()
+				}
+				continue
+			}
+			if eng.solveRound() {
 				break
 			}
 			rec.Add("opt.jobs_removed", 1)
 			span.Add("jobs_removed", 1)
-			cand = deleteIndex(cand, removed)
-			if len(cand) == 0 {
-				return nil, fmt.Errorf("opt: phase emptied its candidate set (numerical failure)")
+			var empty bool
+			degenerate, empty = eng.removeExcluded()
+			if empty {
+				return nil, eng.emptyErr()
 			}
 		}
-
+		speed, mj, tkj := eng.accept()
+		cand := eng.acceptedCand()
 		if err := emitPhase(in, ivs, used, cand, speed, mj, tkj, res); err != nil {
 			return nil, err
 		}
@@ -167,137 +259,6 @@ func floatSolve(in *job.Instance, tol float64, rec *obs.Recorder, parent *obs.Sp
 type pieceTime struct {
 	ivIdx int
 	t     float64
-}
-
-// floatRound runs one round of a phase: build G(J, m, s), compute the
-// max flow, and either accept the candidate set or name a job to remove.
-func floatRound(in *job.Instance, ivs []job.Interval, used, cand []int, tol float64, st *Stats, rec *obs.Recorder, span *obs.Span) (found bool, removed int, speed float64, mj []int, tkj map[int][]pieceTime) {
-	nIv := len(ivs)
-	mj = make([]int, nIv)
-	var totalWork, totalTime float64
-	activeIn := make([][]int, nIv) // candidate positions active per interval
-	for jx, iv := range ivs {
-		free := in.M - used[jx]
-		if free < 0 {
-			free = 0
-		}
-		for pos, k := range cand {
-			if in.Jobs[k].ActiveIn(iv.Start, iv.End) {
-				activeIn[jx] = append(activeIn[jx], pos)
-			}
-		}
-		mj[jx] = min(len(activeIn[jx]), free)
-		totalTime += float64(mj[jx]) * iv.Len()
-	}
-	for _, k := range cand {
-		totalWork += in.Jobs[k].Work
-	}
-	if totalTime <= 0 {
-		// No capacity at all: remove the candidate with the least work to
-		// make progress; this indicates a degenerate instance and will be
-		// caught by the feasibility check of the caller.
-		return false, 0, 0, mj, nil
-	}
-	speed = totalWork / totalTime
-
-	// Vertex layout: 0 = source, 1..len(cand) = jobs, then intervals with
-	// mj > 0, last = sink.
-	ivNode := make([]int, nIv)
-	node := 1 + len(cand)
-	for jx := range ivs {
-		if mj[jx] > 0 {
-			ivNode[jx] = node
-			node++
-		} else {
-			ivNode[jx] = -1
-		}
-	}
-	sink := node
-	g := flow.NewGraph(node + 1)
-	if node+1 > st.FlowVertices {
-		st.FlowVertices = node + 1
-	}
-
-	srcEdges := make([]flow.EdgeID, len(cand))
-	for pos, k := range cand {
-		srcEdges[pos] = g.AddEdge(0, 1+pos, in.Jobs[k].Work/speed)
-	}
-	type jobIvEdge struct {
-		pos, ivIdx int
-		id         flow.EdgeID
-	}
-	var mid []jobIvEdge
-	sinkEdges := make(map[int]flow.EdgeID, nIv)
-	for jx, iv := range ivs {
-		if mj[jx] == 0 {
-			continue
-		}
-		for _, pos := range activeIn[jx] {
-			id := g.AddEdge(1+pos, ivNode[jx], iv.Len())
-			mid = append(mid, jobIvEdge{pos: pos, ivIdx: jx, id: id})
-		}
-		sinkEdges[jx] = g.AddEdge(ivNode[jx], sink, float64(mj[jx])*iv.Len())
-	}
-
-	stop := rec.Time("opt.flow_solve_seconds")
-	value := g.MaxFlow(0, sink)
-	stop()
-	publishDinic(rec, span, g.Ops())
-	slack := tol * math.Max(1, totalTime)
-	if value >= totalTime-slack {
-		// Saturated: the candidate set is the true J_i.
-		tkj = make(map[int][]pieceTime, len(cand))
-		for _, e := range mid {
-			// Collect every positive flow: dropping pieces at the slack
-			// threshold would lose work proportional to the edge count on
-			// large instances.
-			f := g.Flow(e.id)
-			if f > 1e-15 {
-				k := cand[e.pos]
-				tkj[k] = append(tkj[k], pieceTime{ivIdx: e.ivIdx, t: f})
-			}
-		}
-		return true, 0, speed, mj, tkj
-	}
-
-	// Unsaturated: find an interval whose sink edge has slack and, within
-	// it, the active job edge with the most slack (paper line 10).
-	bestIv := -1
-	bestSlack := slack
-	for jx, id := range sinkEdges {
-		s := g.Capacity(id) - g.Flow(id)
-		if s > bestSlack {
-			bestSlack = s
-			bestIv = jx
-		}
-	}
-	if bestIv < 0 {
-		// All sink edges look saturated although the total flow fell
-		// short — only possible through accumulated rounding. Accept.
-		tkj = make(map[int][]pieceTime, len(cand))
-		for _, e := range mid {
-			if f := g.Flow(e.id); f > 1e-15 {
-				tkj[cand[e.pos]] = append(tkj[cand[e.pos]], pieceTime{ivIdx: e.ivIdx, t: f})
-			}
-		}
-		return true, 0, speed, mj, tkj
-	}
-	removePos := -1
-	var removeSlack float64
-	for _, e := range mid {
-		if e.ivIdx != bestIv {
-			continue
-		}
-		if s := g.Capacity(e.id) - g.Flow(e.id); s > removeSlack {
-			removeSlack = s
-			removePos = e.pos
-		}
-	}
-	if removePos < 0 {
-		// Cannot happen per Lemma 4's counting argument; guard anyway.
-		removePos = activeIn[bestIv][0]
-	}
-	return false, removePos, speed, mj, nil
 }
 
 // emitPhase converts the accepted round's flow into schedule segments and
@@ -378,12 +339,6 @@ func publishExact(rec *obs.Recorder, span *obs.Span, ops flow.DinicOps) {
 	span.Add("edges_scanned", ops.EdgesScanned)
 }
 
-func deleteIndex(cand []int, pos int) []int {
-	out := make([]int, 0, len(cand)-1)
-	out = append(out, cand[:pos]...)
-	return append(out, cand[pos+1:]...)
-}
-
 func subtract(all, remove []int) []int {
 	drop := make(map[int]bool, len(remove))
 	for _, k := range remove {
@@ -396,11 +351,4 @@ func subtract(all, remove []int) []int {
 		}
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,134 @@
+package opt
+
+import (
+	"testing"
+
+	"mpss/internal/obs"
+	"mpss/internal/workload"
+)
+
+// The incremental warm-started engine must be invisible in the output:
+// identical phase structure, bit-identical phase speeds, and
+// bit-identical schedule segments compared to a cold solve that rebuilds
+// the flow network every round. The engine guarantees this by re-setting
+// absolute capacities (never rescaling floats multiplicatively) and by
+// canonicalizing accepted phases with a from-zero re-solve on the warm
+// network, whose zero-capacity removed edges are invisible to Dinic.
+func TestWarmMatchesColdExactly(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		in, err := workload.Bursty(workload.Spec{N: 24, M: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Schedule(in, ColdStart())
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePhases(t, seed, warm, cold)
+	}
+}
+
+// Same comparison for the exact rational engine, whose warm path uses
+// multiplicative source rescaling (exact over rationals).
+func TestWarmMatchesColdExact(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		in, err := workload.Bursty(workload.Spec{N: 12, M: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := Schedule(in, Exact())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Schedule(in, Exact(), ColdStart())
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePhases(t, seed, warm, cold)
+	}
+}
+
+func comparePhases(t *testing.T, seed int64, warm, cold *Result) {
+	t.Helper()
+	if len(warm.Phases) != len(cold.Phases) {
+		t.Fatalf("seed %d: phase counts differ: warm %d vs cold %d",
+			seed, len(warm.Phases), len(cold.Phases))
+	}
+	for i := range warm.Phases {
+		w, c := warm.Phases[i], cold.Phases[i]
+		if w.Speed != c.Speed {
+			t.Fatalf("seed %d phase %d: speed warm %v != cold %v", seed, i, w.Speed, c.Speed)
+		}
+		if len(w.JobIDs) != len(c.JobIDs) {
+			t.Fatalf("seed %d phase %d: job counts differ", seed, i)
+		}
+		for j := range w.JobIDs {
+			if w.JobIDs[j] != c.JobIDs[j] {
+				t.Fatalf("seed %d phase %d: job sets differ: %v vs %v",
+					seed, i, w.JobIDs, c.JobIDs)
+			}
+		}
+		for j := range w.Procs {
+			if w.Procs[j] != c.Procs[j] {
+				t.Fatalf("seed %d phase %d: proc reservations differ: %v vs %v",
+					seed, i, w.Procs, c.Procs)
+			}
+		}
+	}
+	if len(warm.Schedule.Segments) != len(cold.Schedule.Segments) {
+		t.Fatalf("seed %d: segment counts differ: warm %d vs cold %d",
+			seed, len(warm.Schedule.Segments), len(cold.Schedule.Segments))
+	}
+	for i := range warm.Schedule.Segments {
+		if warm.Schedule.Segments[i] != cold.Schedule.Segments[i] {
+			t.Fatalf("seed %d: segment %d differs:\nwarm %v\ncold %v",
+				seed, i, warm.Schedule.Segments[i], cold.Schedule.Segments[i])
+		}
+	}
+}
+
+// The whole point of the warm engine: the flow network is built once per
+// phase, not once per round. Rejected rounds mutate it in place.
+func TestWarmBuildsOncePerPhase(t *testing.T) {
+	in, err := workload.Bursty(workload.Spec{N: 32, M: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	res, err := Schedule(in, WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	rebuilds := snap.Counters["opt.graph_rebuilds"]
+	phases := snap.Counters["opt.phases"]
+	rounds := snap.Counters["opt.rounds"]
+	if phases != int64(len(res.Phases)) {
+		t.Fatalf("opt.phases=%d, result has %d phases", phases, len(res.Phases))
+	}
+	if rebuilds > phases {
+		t.Fatalf("opt.graph_rebuilds=%d exceeds opt.phases=%d (rounds=%d)",
+			rebuilds, phases, rounds)
+	}
+	if rounds > phases && snap.Counters["flow.warm_hits"] == 0 {
+		t.Fatalf("rounds=%d > phases=%d but no flow.warm_hits recorded", rounds, phases)
+	}
+
+	// A cold solve of the same instance rebuilds once per round.
+	rec2 := obs.New()
+	if _, err := Schedule(in, WithRecorder(rec2), ColdStart()); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := rec2.Snapshot()
+	if got := snap2.Counters["opt.graph_rebuilds"]; got != snap2.Counters["opt.rounds"] {
+		t.Fatalf("cold solve: graph_rebuilds=%d, want one per round (%d)",
+			got, snap2.Counters["opt.rounds"])
+	}
+	if snap2.Counters["flow.warm_hits"] != 0 {
+		t.Fatalf("cold solve recorded %d warm hits", snap2.Counters["flow.warm_hits"])
+	}
+}

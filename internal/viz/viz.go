@@ -47,7 +47,7 @@ var palette = []string{
 // with an explanatory note rather than an error.
 func SVG(out io.Writer, s *schedule.Schedule, o Options) error {
 	o = o.normalize()
-	height := marginTop + o.LaneHeight*maxInt(s.M, 1) + axisSpace
+	height := marginTop + o.LaneHeight*max(s.M, 1) + axisSpace
 	fmt.Fprintf(out, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
 		o.Width, height)
 	fmt.Fprintf(out, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
@@ -137,11 +137,4 @@ func tickValues(s *schedule.Schedule) []float64 {
 		out = append(out, all[int(math.Round(float64(i)*step))])
 	}
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
