@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke clean
+.PHONY: all build test vet race verify bench bench-smoke cli-smoke fuzz-smoke clean
 
 all: verify
 
@@ -20,7 +20,17 @@ test:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/flow/...
 
-verify: build vet test race
+# cli-smoke exercises every CLI end to end and fails when any tool exits
+# outside the documented {0,1,2} convention or prints a panic trace.
+cli-smoke:
+	sh scripts/cli_smoke.sh
+
+# fuzz-smoke runs the solver-boundary fuzz harness briefly: enough to
+# catch a reintroduced panic path, cheap enough for every CI run.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSolvePipeline -fuzztime 20s .
+
+verify: build vet test race cli-smoke
 
 # bench runs the solver benchmark family (warm incremental engine vs the
 # cold per-round-rebuild baseline) and archives the numbers — ns/op,

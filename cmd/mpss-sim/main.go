@@ -11,6 +11,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,7 +34,9 @@ func main() {
 
 	in, err := readInstance(*inPath)
 	if err != nil {
-		fail(err)
+		// Unreadable or unparseable input is a usage error.
+		fmt.Fprintln(os.Stderr, "mpss-sim:", err)
+		os.Exit(2)
 	}
 	p, err := mpss.NewAlpha(*alpha)
 	if err != nil {
@@ -162,7 +165,13 @@ func readInstance(path string) (*mpss.Instance, error) {
 	return &in, nil
 }
 
+// fail maps error classes onto the CLI exit-code convention: 2 for
+// invalid input (usage errors), 1 for everything else (infeasible,
+// numeric, internal).
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "mpss-sim:", err)
+	if errors.Is(err, mpss.ErrInvalidInstance) {
+		os.Exit(2)
+	}
 	os.Exit(1)
 }

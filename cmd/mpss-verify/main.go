@@ -7,10 +7,14 @@
 //
 //	mpss-opt -in inst.json -json sched.json
 //	mpss-verify -instance inst.json -schedule sched.json -alpha 3 -optimal
+//
+// Exit codes: 0 = feasible, 1 = infeasible or solver failure, 2 = usage
+// or invalid input.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +39,10 @@ func main() {
 	sched := readJSON[mpss.Schedule](*schedPath)
 
 	if err := mpss.Verify(sched, in); err != nil {
+		if errors.Is(err, mpss.ErrInvalidInstance) {
+			fmt.Fprintln(os.Stderr, "mpss-verify:", err)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "INFEASIBLE:", err)
 		os.Exit(1)
 	}
@@ -57,7 +65,13 @@ func main() {
 			os.Exit(1)
 		}
 		optE := res.Schedule.Energy(p)
-		fmt.Printf("offline optimum: %.6g  ratio: %.6f\n", optE, e/optE)
+		if optE > 0 {
+			fmt.Printf("offline optimum: %.6g  ratio: %.6f\n", optE, e/optE)
+		} else {
+			// A zero-energy optimum makes the ratio meaningless (0/0 or
+			// +Inf); report the energies and let the caller judge.
+			fmt.Printf("offline optimum: %.6g  ratio: n/a (optimum energy is zero)\n", optE)
+		}
 	}
 }
 

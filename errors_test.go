@@ -1,0 +1,102 @@
+package mpss
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestValidateInstanceRejections covers every rejection class of the
+// strict input contract, one table row per class.
+func TestValidateInstanceRejections(t *testing.T) {
+	ok := Job{ID: 1, Release: 0, Deadline: 4, Work: 8}
+	cases := []struct {
+		name string
+		in   *Instance
+	}{
+		{"nil instance", nil},
+		{"no processors", &Instance{M: 0, Jobs: []Job{ok}}},
+		{"negative processors", &Instance{M: -3, Jobs: []Job{ok}}},
+		{"empty instance", &Instance{M: 2}},
+		{"NaN work", &Instance{M: 1, Jobs: []Job{{ID: 1, Release: 0, Deadline: 1, Work: math.NaN()}}}},
+		{"Inf work", &Instance{M: 1, Jobs: []Job{{ID: 1, Release: 0, Deadline: 1, Work: math.Inf(1)}}}},
+		{"zero work", &Instance{M: 1, Jobs: []Job{{ID: 1, Release: 0, Deadline: 1, Work: 0}}}},
+		{"negative work", &Instance{M: 1, Jobs: []Job{{ID: 1, Release: 0, Deadline: 1, Work: -5}}}},
+		{"NaN release", &Instance{M: 1, Jobs: []Job{{ID: 1, Release: math.NaN(), Deadline: 1, Work: 1}}}},
+		{"Inf deadline", &Instance{M: 1, Jobs: []Job{{ID: 1, Release: 0, Deadline: math.Inf(1), Work: 1}}}},
+		{"deadline equals release", &Instance{M: 1, Jobs: []Job{{ID: 1, Release: 2, Deadline: 2, Work: 1}}}},
+		{"inverted window", &Instance{M: 1, Jobs: []Job{{ID: 1, Release: 5, Deadline: 2, Work: 1}}}},
+		{"overflowing window", &Instance{M: 1, Jobs: []Job{{ID: 1, Release: -math.MaxFloat64, Deadline: math.MaxFloat64, Work: 1}}}},
+		{"duplicate job IDs", &Instance{M: 2, Jobs: []Job{
+			{ID: 7, Release: 0, Deadline: 1, Work: 1},
+			{ID: 7, Release: 0, Deadline: 2, Work: 1},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateInstance(tc.in)
+			if err == nil {
+				t.Fatal("ValidateInstance accepted a malformed instance")
+			}
+			if !errors.Is(err, ErrInvalidInstance) {
+				t.Errorf("err = %v, want ErrInvalidInstance", err)
+			}
+		})
+	}
+}
+
+func TestValidateInstanceAccepts(t *testing.T) {
+	in := &Instance{M: 2, Jobs: []Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 8},
+		{ID: 2, Release: 1, Deadline: 5, Work: 2},
+	}}
+	if err := ValidateInstance(in); err != nil {
+		t.Fatalf("ValidateInstance rejected a well-formed instance: %v", err)
+	}
+}
+
+// TestEntryPointsValidate checks every public solver entry point rejects
+// a malformed instance with ErrInvalidInstance instead of panicking or
+// solving garbage.
+func TestEntryPointsValidate(t *testing.T) {
+	bad := &Instance{M: 1, Jobs: []Job{{ID: 1, Release: 3, Deadline: 1, Work: 1}}}
+	calls := map[string]func() error{
+		"OptimalSchedule":      func() error { _, err := OptimalSchedule(bad); return err },
+		"OptimalScheduleExact": func() error { _, err := OptimalScheduleExact(bad); return err },
+		"OA":                   func() error { _, err := OA(bad); return err },
+		"AVR":                  func() error { _, err := AVR(bad); return err },
+		"Verify":               func() error { return Verify(nil, bad) },
+	}
+	for name, call := range calls {
+		t.Run(name, func(t *testing.T) {
+			if err := call(); !errors.Is(err, ErrInvalidInstance) {
+				t.Errorf("%s: err = %v, want ErrInvalidInstance", name, err)
+			}
+		})
+	}
+}
+
+func TestVerifyNilSchedule(t *testing.T) {
+	in := &Instance{M: 1, Jobs: []Job{{ID: 1, Release: 0, Deadline: 1, Work: 1}}}
+	if err := Verify(nil, in); !errors.Is(err, ErrInvalidInstance) {
+		t.Errorf("Verify(nil, in) = %v, want ErrInvalidInstance", err)
+	}
+}
+
+// TestErrorSentinelsDistinct guards the taxonomy: the four classes must
+// not alias each other through wrapping.
+func TestErrorSentinelsDistinct(t *testing.T) {
+	sentinels := map[string]error{
+		"ErrInvalidInstance": ErrInvalidInstance,
+		"ErrInfeasible":      ErrInfeasible,
+		"ErrNumeric":         ErrNumeric,
+		"ErrInternal":        ErrInternal,
+	}
+	for na, a := range sentinels {
+		for nb, b := range sentinels {
+			if na != nb && errors.Is(a, b) {
+				t.Errorf("errors.Is(%s, %s) = true, want distinct sentinels", na, nb)
+			}
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"math"
 	"sort"
 
+	"mpss/internal/flow"
 	"mpss/internal/job"
 )
 
@@ -159,7 +160,7 @@ func evaluate(in *job.Instance, ivs []job.Interval, x []map[int]float64, alpha f
 	}
 
 	var total float64
-	const tiny = 1e-12
+	const tiny = flow.DefaultTolerance
 	for vi, entries := range perIv {
 		L := ivs[vi].Len()
 		m := in.M

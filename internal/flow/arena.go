@@ -6,6 +6,14 @@ import "mpss/internal/pool"
 // for AddEdge; ReleaseGraph recycles one so its flat edge array, CSR
 // index and scratch buffers are reused by the next solve. Steady-state
 // round loops therefore allocate nothing for graph storage.
+//
+// Reset fully re-initializes a graph, so Acquire alone would suffice —
+// but Release additionally clears the solved flag (haveST) and any
+// tolerance override before the graph enters the pool. A graph parked
+// on the free list therefore never holds a live incremental-mutation
+// license: even a caller that reaches the pool without going through
+// Acquire's Reset cannot run SetCapacity/ScaleSourceCaps/RemoveJobEdge
+// against the previous solve's stale source/sink endpoints.
 
 var graphPool pool.FreeList[Graph]
 
@@ -13,7 +21,6 @@ var graphPool pool.FreeList[Graph]
 func AcquireGraph(n int) *Graph {
 	g := graphPool.Get()
 	g.Reset(n)
-	g.tol = 0
 	return g
 }
 
@@ -21,6 +28,8 @@ func AcquireGraph(n int) *Graph {
 // The graph must not be used afterwards.
 func ReleaseGraph(g *Graph) {
 	if g != nil {
+		g.haveST = false
+		g.tol = 0
 		graphPool.Put(g)
 	}
 }
@@ -38,6 +47,7 @@ func AcquireRatGraph(n int) *RatGraph {
 // pool. The graph must not be used afterwards.
 func ReleaseRatGraph(g *RatGraph) {
 	if g != nil {
+		g.haveST = false
 		ratPool.Put(g)
 	}
 }

@@ -1,0 +1,85 @@
+package flow
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestPooledGraphCarriesNoStaleState is the regression test for the
+// incremental-mutation license: a graph released to the pool after a
+// solve must not let its next user run warm-path mutations against the
+// previous solve's source/sink endpoints, and must not inherit its
+// tolerance override.
+func TestPooledGraphCarriesNoStaleState(t *testing.T) {
+	g := AcquireGraph(3)
+	id := g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.SetTolerance(1e-3)
+	if got := g.MaxFlow(0, 2); got != 1 {
+		t.Fatalf("MaxFlow = %v, want 1", got)
+	}
+	// Solved: mutations are licensed now.
+	g.SetCapacity(id, 0.5)
+	ReleaseGraph(g)
+
+	// The same arena comes back (single goroutine, put-then-get), but the
+	// test must hold either way: whatever AcquireGraph returns behaves
+	// like a brand-new graph.
+	g2 := AcquireGraph(3)
+	id2 := g2.AddEdge(0, 1, 1)
+	g2.AddEdge(1, 2, 1)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RemoveJobEdge on a re-acquired unsolved graph must panic (stale mutation license)")
+			}
+		}()
+		g2.RemoveJobEdge(id2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScaleSourceCaps on a re-acquired unsolved graph must panic (stale mutation license)")
+			}
+		}()
+		g2.ScaleSourceCaps(0.5)
+	}()
+
+	// The tolerance override must not leak: with the default 1e-12 an
+	// edge 1e-6 short of capacity is NOT saturated, with the leaked 1e-3
+	// it would be.
+	g3 := AcquireGraph(3)
+	e := g3.AddEdge(0, 1, 1)
+	g3.AddEdge(1, 2, 1-1e-6)
+	g3.MaxFlow(0, 2)
+	if g3.Saturated(e) {
+		t.Error("edge at 1-1e-6 of capacity reads saturated: tolerance override leaked through the pool")
+	}
+	ReleaseGraph(g3)
+	ReleaseGraph(g2)
+}
+
+// TestPooledRatGraphCarriesNoStaleState is the exact-engine counterpart.
+func TestPooledRatGraphCarriesNoStaleState(t *testing.T) {
+	one := big.NewRat(1, 1)
+	g := AcquireRatGraph(3)
+	id := g.AddEdge(0, 1, one)
+	g.AddEdge(1, 2, one)
+	if got := g.MaxFlow(0, 2); got.Cmp(one) != 0 {
+		t.Fatalf("MaxFlow = %v, want 1", got)
+	}
+	g.SetCapacity(id, big.NewRat(1, 2))
+	ReleaseRatGraph(g)
+
+	g2 := AcquireRatGraph(3)
+	id2 := g2.AddEdge(0, 1, one)
+	g2.AddEdge(1, 2, one)
+	defer ReleaseRatGraph(g2)
+	defer func() {
+		if recover() == nil {
+			t.Error("RemoveJobEdge on a re-acquired unsolved rat graph must panic (stale mutation license)")
+		}
+	}()
+	g2.RemoveJobEdge(id2)
+}

@@ -2,7 +2,6 @@ package flow
 
 import (
 	"encoding/binary"
-	"math"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -129,11 +128,10 @@ func checkDifferential(t *testing.T, rng *rand.Rand) {
 	pv := pg.MaxFlow(s, sink)
 	rv, _ := rg.MaxFlow(s, sink).Float64()
 
-	tol := 1e-9 * math.Max(1, rv)
-	if math.Abs(fv-rv) > tol {
+	if !Close(fv, rv, SolveTolerance) {
 		t.Fatalf("dinic %v vs exact %v (net %+v)", fv, rv, net)
 	}
-	if math.Abs(pv-rv) > tol {
+	if !Close(pv, rv, SolveTolerance) {
 		t.Fatalf("push-relabel %v vs exact %v (net %+v)", pv, rv, net)
 	}
 	if err := dg.CheckConservation(s, sink); err != nil {
@@ -220,8 +218,7 @@ func checkDifferential(t *testing.T, rng *rand.Rand) {
 			warmRat, coldRat, net, kill, shrink)
 	}
 	cv, _ := coldRat.Float64()
-	ctol := 1e-9 * math.Max(1, cv)
-	if math.Abs(warmVal-cv) > ctol {
+	if !Close(warmVal, cv, SolveTolerance) {
 		t.Fatalf("float warm %v vs exact cold %v (net %+v)", warmVal, cv, net)
 	}
 

@@ -32,10 +32,58 @@ import (
 	"math"
 )
 
-// DefaultTolerance is the residual-capacity threshold below which an edge
-// is considered saturated by the float64 solver, relative to the largest
-// capacity in the graph.
-const DefaultTolerance = 1e-12
+// The package's tolerance ladder. Every float comparison in the solver
+// stack derives from DefaultTolerance so the layers cannot silently
+// disagree on what "equal" means: each rung is three decades looser than
+// the one below, matching how error accumulates moving up the stack
+// (per-edge residual arithmetic -> whole-solve acceptance tests ->
+// cross-engine differential comparisons).
+const (
+	// DefaultTolerance is the residual-capacity threshold below which an
+	// edge is considered saturated by the float64 solver, relative to the
+	// largest capacity in the graph.
+	DefaultTolerance = 1e-12
+
+	// SolveTolerance is the relative slack of whole-solve decisions built
+	// on top of the edge arithmetic: phase-acceptance tests in
+	// internal/opt, feasibility probes, volume-depletion thresholds.
+	SolveTolerance = DefaultTolerance * 1e3
+
+	// DiffTolerance is the comparison slack for cross-engine checks
+	// (float vs exact, warm vs cold, Dinic vs push-relabel): loose enough
+	// to absorb legitimately different rounding paths, tight enough to
+	// catch real disagreement.
+	DiffTolerance = SolveTolerance * 1e3
+)
+
+// Close reports whether a and b agree to the given tolerance, relative
+// to their magnitude: |a-b| <= tol * (1 + max(|a|, |b|)). It is the
+// scale-aware comparison the differential tests and the solver's
+// borderline-feasibility checks share, so the two cannot drift apart.
+func Close(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// InvariantViolation is the panic payload of the solver's internal
+// invariant checks (drain convergence, cancel accounting, derived
+// capacities staying finite). Panicking — instead of returning an error
+// through a dozen internal frames that have no way to continue — keeps
+// the hot paths clean; the solver driver (internal/opt.runPhases)
+// recovers the payload at its boundary and converts it into a typed
+// error. Numeric distinguishes invariants that can fail through float64
+// precision loss alone (retrying cold or in exact arithmetic may
+// succeed) from true programmer-bug invariants.
+type InvariantViolation struct {
+	Numeric bool   // float precision failure, not necessarily a bug
+	Msg     string // what was violated
+}
+
+func (v *InvariantViolation) Error() string { return "flow: " + v.Msg }
+
+// violate panics with an InvariantViolation.
+func violate(numeric bool, msg string) {
+	panic(&InvariantViolation{Numeric: numeric, Msg: msg})
+}
 
 // edge is one directed arc of the flat residual-edge array. Edges live in
 // pairs: the forward edge added by AddEdge at an even index i, its
@@ -114,7 +162,11 @@ func NewGraph(n int) *Graph {
 
 // Reset re-initializes the graph to n empty vertices, reusing all backing
 // arrays. It is the arena entry point: a Reset graph is indistinguishable
-// from a NewGraph one, but steady-state reuse allocates nothing.
+// from a NewGraph one, but steady-state reuse allocates nothing. That
+// indistinguishability is load-bearing for the graph pool (arena.go): a
+// SetTolerance override and the solved flag guarding the incremental
+// mutators are both cleared here, so a pooled graph cannot leak either
+// into its next life.
 func (g *Graph) Reset(n int) {
 	if n < 2 {
 		panic(fmt.Sprintf("flow: graph needs >= 2 vertices, got %d", n))
@@ -171,7 +223,11 @@ func (g *Graph) AddEdge(from, to int, capacity float64) EdgeID {
 		panic("flow: self-loop")
 	}
 	if math.IsNaN(capacity) || math.IsInf(capacity, 0) || capacity < 0 {
-		panic(fmt.Sprintf("flow: invalid capacity %v", capacity))
+		// Non-finite capacities reach here only through float64 overflow
+		// or underflow in the caller's derived values (w/s with an
+		// underflowed speed, overflowed m_j|I_j|); classify as numeric so
+		// the solver's fallback ladder retries in exact arithmetic.
+		violate(true, fmt.Sprintf("invalid capacity %v", capacity))
 	}
 	if g.maxCapOK && capacity > g.maxCap {
 		g.maxCap = capacity
@@ -400,7 +456,7 @@ func (g *Graph) stEndpoints() (int, int) {
 // amount drained is returned.
 func (g *Graph) SetCapacity(id EdgeID, c float64) float64 {
 	if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
-		panic(fmt.Sprintf("flow: invalid capacity %v", c))
+		violate(true, fmt.Sprintf("invalid capacity %v", c))
 	}
 	e := g.fwd(id)
 	var drained float64
@@ -445,7 +501,7 @@ func (g *Graph) noteCapChange(old, c float64) {
 // so the warm flow survives the rescale.
 func (g *Graph) ScaleSourceCaps(factor float64) float64 {
 	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor < 0 {
-		panic(fmt.Sprintf("flow: invalid scale factor %v", factor))
+		violate(true, fmt.Sprintf("invalid scale factor %v", factor))
 	}
 	s, _ := g.stEndpoints()
 	g.build()
@@ -513,7 +569,7 @@ func (g *Graph) reduceEdgeFlowTo(eid int32, target float64) float64 {
 	var removed float64
 	for iter := 0; e.orig-e.cap > target+tol; iter++ {
 		if iter > len(g.edges)+2 {
-			panic("flow: drain failed to converge (cyclic flow?)")
+			violate(true, "drain failed to converge (cyclic flow?)")
 		}
 		d := (e.orig - e.cap) - target
 		// Walk flow-carrying edges from the head down to t and from the
@@ -523,11 +579,11 @@ func (g *Graph) reduceEdgeFlowTo(eid int32, target float64) float64 {
 		// flow, so the bottleneck stays strictly positive.
 		down, ok := g.flowPathDown(int(e.to), t, tol)
 		if !ok {
-			panic("flow: no flow-carrying path to sink while draining")
+			violate(true, "no flow-carrying path to sink while draining")
 		}
 		up, ok := g.flowPathUp(int(e.from), s, tol)
 		if !ok {
-			panic("flow: no flow-carrying path to source while draining")
+			violate(true, "no flow-carrying path to source while draining")
 		}
 		for _, pid := range down {
 			pe := &g.edges[pid]

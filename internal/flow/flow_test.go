@@ -208,7 +208,7 @@ func TestFloatMatchesExactProperty(t *testing.T) {
 		fg, rg, _, s, snk := buildRandomBipartite(rng, nj, ni)
 		fv := fg.MaxFlow(s, snk)
 		rv, _ := rg.MaxFlow(s, snk).Float64()
-		return math.Abs(fv-rv) < 1e-6
+		return Close(fv, rv, DiffTolerance)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
@@ -230,7 +230,7 @@ func TestFlowBoundsProperty(t *testing.T) {
 		if err := fg.CheckConservation(s, snk); err != nil {
 			return false
 		}
-		return math.Abs(fg.OutFlow(s)-val) < 1e-9
+		return Close(fg.OutFlow(s), val, SolveTolerance)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)

@@ -88,7 +88,7 @@ func TestPushRelabelMatchesDinicProperty(t *testing.T) {
 		fg, _, pg, s, snk := buildRandomBipartite(rng, nj, ni)
 		dv := fg.MaxFlow(s, snk)
 		pv := pg.MaxFlow(s, snk)
-		return math.Abs(dv-pv) < 1e-6
+		return Close(dv, pv, DiffTolerance)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)

@@ -323,16 +323,16 @@ func (g *RatGraph) reduceEdgeFlowTo(eid int32, target *big.Rat) *big.Rat {
 	removed := new(big.Rat)
 	for iter := 0; g.edgeFlow(eid).Cmp(target) > 0; iter++ {
 		if iter > len(g.edges)+2 {
-			panic("flow: drain failed to converge (cyclic flow?)")
+			violate(false, "drain failed to converge on exact graph (cyclic flow?)")
 		}
 		d := new(big.Rat).Sub(g.edgeFlow(eid), target)
 		down, ok := g.flowPathDown(int(g.edges[eid].to), t)
 		if !ok {
-			panic("flow: no flow-carrying path to sink while draining")
+			violate(false, "no flow-carrying path to sink while draining exact graph")
 		}
 		up, ok := g.flowPathUp(int(g.edges[eid].from), s)
 		if !ok {
-			panic("flow: no flow-carrying path to source while draining")
+			violate(false, "no flow-carrying path to source while draining exact graph")
 		}
 		for _, pid := range down {
 			if f := g.edgeFlow(pid); f.Cmp(d) < 0 {
@@ -345,7 +345,7 @@ func (g *RatGraph) reduceEdgeFlowTo(eid int32, target *big.Rat) *big.Rat {
 			}
 		}
 		if d.Sign() <= 0 {
-			panic("flow: zero drain bottleneck on exact graph")
+			violate(false, "zero drain bottleneck on exact graph")
 		}
 		g.cancel(eid, d)
 		for _, pid := range down {
@@ -365,7 +365,7 @@ func (g *RatGraph) cancel(id int32, d *big.Rat) {
 	p := &g.edges[id^1]
 	p.cap.Sub(p.cap, d)
 	if p.cap.Sign() < 0 {
-		panic("flow: over-cancel on exact graph")
+		violate(false, "over-cancel on exact graph")
 	}
 }
 

@@ -6,10 +6,11 @@ package job
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"math"
 	"sort"
+
+	"mpss/internal/mpsserr"
 )
 
 // Job is one unit of work in the Yao–Demers–Shenker model. The job becomes
@@ -41,18 +42,24 @@ func (j Job) ActiveIn(start, end float64) bool {
 func (j Job) ActiveAt(t float64) bool { return j.Release <= t && t < j.Deadline }
 
 // Validate reports an error when the job is malformed: non-finite fields,
-// an empty window, or non-positive work.
+// an empty or overflowing window, or non-positive work. All errors wrap
+// mpsserr.ErrInvalidInstance.
 func (j Job) Validate() error {
 	for _, v := range []float64{j.Release, j.Deadline, j.Work} {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("job %d: non-finite field", j.ID)
+			return fmt.Errorf("%w: job %d: non-finite field", mpsserr.ErrInvalidInstance, j.ID)
 		}
 	}
 	if j.Deadline <= j.Release {
-		return fmt.Errorf("job %d: deadline %v <= release %v", j.ID, j.Deadline, j.Release)
+		return fmt.Errorf("%w: job %d: deadline %v <= release %v", mpsserr.ErrInvalidInstance, j.ID, j.Deadline, j.Release)
+	}
+	if math.IsInf(j.Deadline-j.Release, 0) {
+		// Both endpoints finite but the span overflows float64; every
+		// downstream span/density computation would be infinite.
+		return fmt.Errorf("%w: job %d: window [%v,%v] wider than float64 range", mpsserr.ErrInvalidInstance, j.ID, j.Release, j.Deadline)
 	}
 	if j.Work <= 0 {
-		return fmt.Errorf("job %d: work %v <= 0", j.ID, j.Work)
+		return fmt.Errorf("%w: job %d: work %v <= 0", mpsserr.ErrInvalidInstance, j.ID, j.Work)
 	}
 	return nil
 }
@@ -71,23 +78,40 @@ type Instance struct {
 // NewInstance validates the jobs and processor count and returns an
 // Instance. Job IDs must be unique; jobs are stored in the given order.
 func NewInstance(m int, jobs []Job) (*Instance, error) {
-	if m < 1 {
-		return nil, fmt.Errorf("job: need at least one processor, got %d", m)
+	in := &Instance{Jobs: jobs, M: m}
+	if err := in.Validate(); err != nil {
+		return nil, err
 	}
-	if len(jobs) == 0 {
-		return nil, errors.New("job: empty instance")
+	return &Instance{Jobs: append([]Job(nil), jobs...), M: m}, nil
+}
+
+// Validate checks the instance against the full rejection catalogue: a
+// nil or empty instance, m < 1, any malformed job (see Job.Validate) and
+// duplicate job IDs. All errors wrap mpsserr.ErrInvalidInstance. The
+// solver entry points call it on every instance — including ones built
+// as struct literals that never went through NewInstance — so hostile
+// values are rejected before they reach the flow arenas.
+func (in *Instance) Validate() error {
+	if in == nil {
+		return fmt.Errorf("%w: nil instance", mpsserr.ErrInvalidInstance)
 	}
-	seen := make(map[int]bool, len(jobs))
-	for _, j := range jobs {
+	if in.M < 1 {
+		return fmt.Errorf("%w: need at least one processor, got %d", mpsserr.ErrInvalidInstance, in.M)
+	}
+	if len(in.Jobs) == 0 {
+		return fmt.Errorf("%w: empty instance", mpsserr.ErrInvalidInstance)
+	}
+	seen := make(map[int]bool, len(in.Jobs))
+	for _, j := range in.Jobs {
 		if err := j.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 		if seen[j.ID] {
-			return nil, fmt.Errorf("job: duplicate job ID %d", j.ID)
+			return fmt.Errorf("%w: duplicate job ID %d", mpsserr.ErrInvalidInstance, j.ID)
 		}
 		seen[j.ID] = true
 	}
-	return &Instance{Jobs: append([]Job(nil), jobs...), M: m}, nil
+	return nil
 }
 
 // N returns the number of jobs.

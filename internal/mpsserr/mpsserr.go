@@ -1,0 +1,38 @@
+// Package mpsserr defines the error taxonomy of the solver boundary.
+// The sentinels live in an internal leaf package so that both the public
+// mpss package and the internal solver layers (flow, opt, online) can
+// wrap them without an import cycle; the public package re-exports them
+// as mpss.ErrInvalidInstance etc.
+//
+// Classification contract:
+//
+//   - ErrInvalidInstance: the caller's input is malformed (NaN/Inf
+//     fields, inverted windows, non-positive work, m < 1, empty or
+//     duplicate-ID instances, invalid caps). Deterministic; retrying is
+//     pointless.
+//   - ErrInfeasible: the input is well-formed but no schedule satisfies
+//     the requested constraints (speed caps, processor overload). Also
+//     deterministic.
+//   - ErrNumeric: the float64 fast path lost too much precision to
+//     certify a decision (drain non-convergence, non-finite derived
+//     capacities, emptied candidate sets). The same solve may succeed
+//     cold or in exact rational arithmetic; opt.Schedule retries
+//     automatically before surfacing this.
+//   - ErrInternal: a solver invariant that should hold for every input
+//     was violated (a contained panic). Always a bug; the error text
+//     carries the phase/round context for the report.
+package mpsserr
+
+import "errors"
+
+var (
+	// ErrInvalidInstance marks errors caused by malformed caller input.
+	ErrInvalidInstance = errors.New("mpss: invalid instance")
+	// ErrInfeasible marks errors for well-formed but unsatisfiable inputs.
+	ErrInfeasible = errors.New("mpss: infeasible")
+	// ErrNumeric marks float64-path precision failures; the exact engine
+	// may still succeed on the same input.
+	ErrNumeric = errors.New("mpss: numeric failure")
+	// ErrInternal marks contained solver-invariant violations (bugs).
+	ErrInternal = errors.New("mpss: internal solver error")
+)

@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"mpss/internal/job"
+	"mpss/internal/mpsserr"
 	"mpss/internal/obs"
 	"mpss/internal/opt"
 	"mpss/internal/schedule"
@@ -97,6 +98,9 @@ type OAResult struct {
 
 // OA runs Optimal Available on m parallel processors.
 func OA(in *job.Instance, opts ...Option) (*OAResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
 	cfg := buildConfig(opts)
 	rec := cfg.rec
 	run := rec.StartSpan("OA")
@@ -224,6 +228,9 @@ type AVRResult struct {
 
 // AVR runs Average Rate on m parallel processors.
 func AVR(in *job.Instance, opts ...Option) (*AVRResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
 	cfg := buildConfig(opts)
 	rec := cfg.rec
 	run := rec.StartSpan("AVR")
@@ -279,7 +286,7 @@ func AVR(in *job.Instance, opts ...Option) (*AVRResult, error) {
 		}
 		if idx < len(active) {
 			if m == 0 {
-				return nil, fmt.Errorf("online: AVR ran out of processors in %v (overload: %d active on %d processors)", iv, len(active), in.M)
+				return nil, fmt.Errorf("online: AVR ran out of processors in %v (overload: %d active on %d processors): %w", iv, len(active), in.M, mpsserr.ErrInfeasible)
 			}
 			sPool := rest / float64(m)
 			level.PoolSpeed = sPool
@@ -297,7 +304,10 @@ func AVR(in *job.Instance, opts ...Option) (*AVRResult, error) {
 			}
 			segs, err := schedule.WrapAround(iv.Start, iv.End, procs, pieces)
 			if err != nil {
-				return nil, fmt.Errorf("online: AVR packing %v: %w", iv, err)
+				// Mathematically every pooled piece fits its interval
+				// (density <= pool speed), so a packing failure means the
+				// float arithmetic overflowed or lost the margin.
+				return nil, fmt.Errorf("online: AVR packing %v: %v: %w", iv, err, mpsserr.ErrNumeric)
 			}
 			for _, s := range segs {
 				res.Schedule.Add(s)

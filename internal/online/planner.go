@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"mpss/internal/job"
+	"mpss/internal/mpsserr"
 	"mpss/internal/obs"
 	"mpss/internal/opt"
 	"mpss/internal/schedule"
@@ -49,7 +50,7 @@ type liveJob struct {
 // NewPlanner returns an empty planner over m processors.
 func NewPlanner(m int) (*Planner, error) {
 	if m < 1 {
-		return nil, fmt.Errorf("online: planner needs m >= 1, got %d", m)
+		return nil, fmt.Errorf("online: planner needs m >= 1, got %d: %w", m, mpsserr.ErrInvalidInstance)
 	}
 	return &Planner{
 		m:        m,
@@ -184,7 +185,7 @@ func (p *Planner) replan() error {
 	jobs := make([]job.Job, 0, len(p.live))
 	for id, lj := range p.live {
 		if lj.deadline <= p.now {
-			return fmt.Errorf("online: job %d still has %v work at its deadline", id, lj.remaining)
+			return fmt.Errorf("online: job %d still has %v work at its deadline: %w", id, lj.remaining, mpsserr.ErrInfeasible)
 		}
 		jobs = append(jobs, job.Job{ID: id, Release: p.now, Deadline: lj.deadline, Work: lj.remaining})
 	}

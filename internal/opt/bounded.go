@@ -6,6 +6,7 @@ import (
 
 	"mpss/internal/flow"
 	"mpss/internal/job"
+	"mpss/internal/mpsserr"
 	"mpss/internal/obs"
 )
 
@@ -25,7 +26,10 @@ func FeasibleAtSpeed(in *job.Instance, s float64) (bool, error) {
 // counters). A nil recorder makes it identical to FeasibleAtSpeed.
 func FeasibleAtSpeedObserved(in *job.Instance, s float64, rec *obs.Recorder) (bool, error) {
 	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
-		return false, fmt.Errorf("opt: invalid speed cap %v", s)
+		return false, fmt.Errorf("opt: invalid speed cap %v: %w", s, mpsserr.ErrInvalidInstance)
+	}
+	if err := validateForSolve(in); err != nil {
+		return false, err
 	}
 	rec.Add("opt.feasibility_probes", 1)
 	ivs := job.Partition(in.Jobs)
@@ -43,7 +47,7 @@ func FeasibleAtSpeedObserved(in *job.Instance, s float64, rec *obs.Recorder) (bo
 	var demand float64
 	for k, j := range in.Jobs {
 		need := j.Work / s
-		if need > j.Span()*(1+1e-12) {
+		if need > j.Span()*(1+flow.DefaultTolerance) {
 			// The job alone cannot finish inside its own window at cap s.
 			return false, nil
 		}
@@ -63,7 +67,7 @@ func FeasibleAtSpeedObserved(in *job.Instance, s float64, rec *obs.Recorder) (bo
 	value := g.MaxFlow(0, sink)
 	stop()
 	publishDinic(rec, nil, g.Ops())
-	return value >= demand-1e-9*math.Max(1, demand), nil
+	return value >= demand-flow.SolveTolerance*math.Max(1, demand), nil
 }
 
 // MinFeasibleCap returns (a tight numerical approximation of) the
@@ -71,7 +75,7 @@ func FeasibleAtSpeedObserved(in *job.Instance, s float64, rec *obs.Recorder) (bo
 // the "minimum peak speed" of the instance. The value equals the highest
 // phase speed s_1 of the unbounded optimum, which provides the initial
 // bracket; the function then bisects FeasibleAtSpeed to within rel
-// relative tolerance (default 1e-9 when rel <= 0).
+// relative tolerance (default flow.SolveTolerance when rel <= 0).
 func MinFeasibleCap(in *job.Instance, rel float64) (float64, error) {
 	return MinFeasibleCapObserved(in, rel, nil)
 }
@@ -80,13 +84,13 @@ func MinFeasibleCap(in *job.Instance, rel float64) (float64, error) {
 // counted in the recorder.
 func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder) (float64, error) {
 	if rel <= 0 {
-		rel = 1e-9
+		rel = flow.SolveTolerance
 	}
 	res, err := Schedule(in, WithRecorder(rec))
 	if err != nil {
 		return 0, err
 	}
-	hi := res.Phases[0].Speed * (1 + 1e-9)
+	hi := res.Phases[0].Speed * (1 + flow.SolveTolerance)
 	ok, err := FeasibleAtSpeedObserved(in, hi, rec)
 	if err != nil {
 		return 0, err
@@ -94,9 +98,9 @@ func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder) (f
 	if !ok {
 		// The unbounded optimum's top speed must be feasible; tolerate
 		// rounding by nudging upward.
-		hi *= 1 + 1e-6
+		hi *= 1 + flow.DiffTolerance
 		if ok, err = FeasibleAtSpeedObserved(in, hi, rec); err != nil || !ok {
-			return 0, fmt.Errorf("opt: optimum speed %v not feasible as cap (numerical)", hi)
+			return 0, fmt.Errorf("opt: optimum speed %v not feasible as cap: %w", hi, mpsserr.ErrNumeric)
 		}
 	}
 	lo := 0.0

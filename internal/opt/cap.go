@@ -6,6 +6,7 @@ import (
 
 	"mpss/internal/flow"
 	"mpss/internal/job"
+	"mpss/internal/mpsserr"
 	"mpss/internal/schedule"
 )
 
@@ -19,7 +20,10 @@ import (
 // multi-speed profile saves over single-frequency operation.
 func ScheduleAtCap(in *job.Instance, cap float64) (*schedule.Schedule, error) {
 	if cap <= 0 || math.IsNaN(cap) || math.IsInf(cap, 0) {
-		return nil, fmt.Errorf("opt: invalid speed cap %v", cap)
+		return nil, fmt.Errorf("opt: invalid speed cap %v: %w", cap, mpsserr.ErrInvalidInstance)
+	}
+	if err := validateForSolve(in); err != nil {
+		return nil, err
 	}
 	ivs := job.Partition(in.Jobs)
 
@@ -41,8 +45,8 @@ func ScheduleAtCap(in *job.Instance, cap float64) (*schedule.Schedule, error) {
 	var demand float64
 	for k, j := range in.Jobs {
 		need := j.Work / cap
-		if need > j.Span()*(1+1e-12) {
-			return nil, fmt.Errorf("opt: job %d cannot finish inside its window at cap %v", j.ID, cap)
+		if need > j.Span()*(1+flow.DefaultTolerance) {
+			return nil, fmt.Errorf("opt: job %d cannot finish inside its window at cap %v: %w", j.ID, cap, mpsserr.ErrInfeasible)
 		}
 		g.AddEdge(0, 1+k, need)
 		demand += need
@@ -58,14 +62,14 @@ func ScheduleAtCap(in *job.Instance, cap float64) (*schedule.Schedule, error) {
 	}
 
 	value := g.MaxFlow(0, sink)
-	if value < demand-1e-9*math.Max(1, demand) {
-		return nil, fmt.Errorf("opt: instance infeasible at cap %v (flow %v of %v)", cap, value, demand)
+	if value < demand-flow.SolveTolerance*math.Max(1, demand) {
+		return nil, fmt.Errorf("opt: instance infeasible at cap %v (flow %v of %v): %w", cap, value, demand, mpsserr.ErrInfeasible)
 	}
 
 	perIv := make([][]schedule.Piece, len(ivs))
 	for _, e := range mids {
 		t := g.Flow(e.id)
-		if t <= 1e-12 {
+		if t <= flow.DefaultTolerance {
 			continue
 		}
 		perIv[e.ivIdx] = append(perIv[e.ivIdx], schedule.Piece{

@@ -6,6 +6,7 @@ import (
 
 	"mpss/internal/flow"
 	"mpss/internal/job"
+	"mpss/internal/mpsserr"
 	"mpss/internal/obs"
 )
 
@@ -72,7 +73,7 @@ type floatEngine struct {
 func (e *floatEngine) spanName(phase int) string { return fmt.Sprintf("phase %d", phase) }
 
 func (e *floatEngine) emptyErr() error {
-	return fmt.Errorf("opt: phase emptied its candidate set (numerical failure)")
+	return fmt.Errorf("opt: phase emptied its candidate set: %w", mpsserr.ErrNumeric)
 }
 
 func (e *floatEngine) prepare(in *job.Instance, ivs []job.Interval, st *Stats, rec *obs.Recorder) {
@@ -138,7 +139,10 @@ func (e *floatEngine) beginPhase(used, cand []int, span *obs.Span) bool {
 // every change to the candidate set. Incremental subtraction would be
 // O(1) but floats are not associative: summing fresh, in the same index
 // order as a cold build, keeps the conjectured speed bit-identical to
-// the cold path's.
+// the cold path's. Intervals with mj = 0 are skipped rather than added
+// as zero terms: a gap interval between distant job clusters can have
+// an overflowed (infinite) length, and 0 * Inf would poison the sum
+// with NaN (the exact engine skips them the same way).
 func (e *floatEngine) recomputeTotals() {
 	tw := 0.0
 	for pos, k := range e.cand0 {
@@ -148,7 +152,9 @@ func (e *floatEngine) recomputeTotals() {
 	}
 	tt := 0.0
 	for jx := range e.ivs {
-		tt += float64(e.mj[jx]) * e.ivLen[jx]
+		if e.mj[jx] > 0 {
+			tt += float64(e.mj[jx]) * e.ivLen[jx]
+		}
 	}
 	e.totalWork, e.totalTime = tw, tt
 }

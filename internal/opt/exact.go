@@ -6,6 +6,7 @@ import (
 
 	"mpss/internal/flow"
 	"mpss/internal/job"
+	"mpss/internal/mpsserr"
 	"mpss/internal/obs"
 )
 
@@ -63,7 +64,9 @@ type exactEngine struct {
 func (e *exactEngine) spanName(phase int) string { return fmt.Sprintf("phase %d (exact)", phase) }
 
 func (e *exactEngine) emptyErr() error {
-	return fmt.Errorf("opt: exact phase emptied its candidate set")
+	// Exact arithmetic cannot misclassify a feasible conjecture, so an
+	// emptied candidate set here is a solver bug, not a precision issue.
+	return fmt.Errorf("opt: exact phase emptied its candidate set: %w", mpsserr.ErrInternal)
 }
 
 func (e *exactEngine) prepare(in *job.Instance, ivs []job.Interval, st *Stats, rec *obs.Recorder) {

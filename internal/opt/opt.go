@@ -37,12 +37,14 @@
 package opt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"mpss/internal/flow"
 	"mpss/internal/job"
+	"mpss/internal/mpsserr"
 	"mpss/internal/obs"
 	"mpss/internal/pool"
 	"mpss/internal/schedule"
@@ -95,7 +97,7 @@ func Exact() Option { return func(c *config) { c.exact = true } }
 func ColdStart() Option { return func(c *config) { c.cold = true } }
 
 // WithTolerance sets the relative tolerance of the float64 fast path
-// (default 1e-9).
+// (default flow.SolveTolerance).
 func WithTolerance(tol float64) Option {
 	return func(c *config) { c.tol = tol }
 }
@@ -142,8 +144,17 @@ func Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 }
 
 // Schedule computes an energy-optimal schedule reusing the solver arena.
+//
+// Failure handling: the float64 fast path can fail numerically on
+// hostile inputs (ErrNumeric) or trip a contained solver invariant
+// (ErrInternal). Both are retried automatically before surfacing — first
+// with the warm-start engine disabled (ColdStart, counter
+// "opt.fallback_cold"), then with the exact rational engine (counter
+// "opt.fallback_exact") — so production callers only see an error when
+// every rung of the ladder fails. Explicit Exact() runs skip the ladder:
+// there is nothing more exact to fall back to.
 func (s *Solver) Schedule(in *job.Instance, opts ...Option) (*Result, error) {
-	cfg := config{tol: 1e-9}
+	cfg := config{tol: flow.SolveTolerance}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -153,16 +164,72 @@ func (s *Solver) Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 	if cfg.rec == nil {
 		cfg.rec = cfg.span.Recorder()
 	}
-	var eng phaseEngine
+	if err := validateForSolve(in); err != nil {
+		return nil, err
+	}
 	if cfg.exact {
 		s.ee.cold = cfg.cold
-		eng = &s.ee
-	} else {
-		s.fe.tol = cfg.tol
-		s.fe.cold = cfg.cold
-		eng = &s.fe
+		return runPhases(in, &s.ee, cfg.rec, cfg.span)
 	}
-	return runPhases(in, eng, cfg.rec, cfg.span)
+	s.fe.tol = cfg.tol
+	s.fe.cold = cfg.cold
+	res, err := runPhases(in, &s.fe, cfg.rec, cfg.span)
+	if err == nil || !retryable(err) {
+		return res, err
+	}
+	floatErr := err
+	if !cfg.cold {
+		cfg.rec.Add("opt.fallback_cold", 1)
+		s.fe.cold = true
+		res, err = runPhases(in, &s.fe, cfg.rec, cfg.span)
+		s.fe.cold = false
+		if err == nil {
+			return res, nil
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	cfg.rec.Add("opt.fallback_exact", 1)
+	s.ee.cold = false
+	res, err = runPhases(in, &s.ee, cfg.rec, cfg.span)
+	if err != nil {
+		return nil, fmt.Errorf("opt: exact fallback also failed: %w (float path: %v)", err, floatErr)
+	}
+	return res, nil
+}
+
+// retryable reports whether a later rung of the fallback ladder may
+// succeed where this error failed: numeric failures by construction,
+// internal invariant violations because a differently-conditioned
+// engine often sidesteps the triggering state. Invalid or infeasible
+// inputs fail identically everywhere.
+func retryable(err error) bool {
+	return errors.Is(err, mpsserr.ErrNumeric) || errors.Is(err, mpsserr.ErrInternal)
+}
+
+// validateForSolve is the solver-boundary input check: structural
+// validity only (processor count, non-empty, well-formed job fields).
+// Duplicate-ID detection is left to the public API's ValidateInstance —
+// the round loop is indifferent to IDs, and this runs on every replan of
+// the online planner, where an extra map allocation per arrival would
+// show up in the profiles.
+func validateForSolve(in *job.Instance) error {
+	if in == nil {
+		return fmt.Errorf("%w: nil instance", mpsserr.ErrInvalidInstance)
+	}
+	if in.M < 1 {
+		return fmt.Errorf("%w: need at least one processor, got %d", mpsserr.ErrInvalidInstance, in.M)
+	}
+	if len(in.Jobs) == 0 {
+		return fmt.Errorf("%w: empty instance", mpsserr.ErrInvalidInstance)
+	}
+	for _, j := range in.Jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // phaseEngine is the round loop's arithmetic backend. floatEngine runs
@@ -196,8 +263,39 @@ type phaseEngine interface {
 	emptyErr() error
 }
 
-// runPhases is the shared phase/round driver for both engines.
-func runPhases(in *job.Instance, eng phaseEngine, rec *obs.Recorder, parent *obs.Span) (*Result, error) {
+// testHookRound, when non-nil, runs before every solveRound call with a
+// flag telling the engine kind apart. Tests use it to inject invariant
+// panics and exercise the recover/fallback path; it is never set outside
+// tests.
+var testHookRound func(exact bool)
+
+// runPhases is the shared phase/round driver for both engines. It is
+// also the solver's panic-containment boundary: invariant violations
+// raised anywhere below (the flow drain walks, the engines, the
+// wrap-around packer) are recovered here and converted into typed
+// errors — flow.InvariantViolation values with Numeric set become
+// ErrNumeric (the fallback ladder retries those), everything else
+// becomes ErrInternal — annotated with the phase/round position the
+// solver had reached, mirroring the span trace internal/obs records.
+func runPhases(in *job.Instance, eng phaseEngine, rec *obs.Recorder, parent *obs.Span) (res *Result, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		phase, rounds := 0, 0
+		if res != nil {
+			phase, rounds = len(res.Phases)+1, res.Stats.Rounds
+		}
+		rec.Add("opt.panics_recovered", 1)
+		if iv, ok := r.(*flow.InvariantViolation); ok && iv.Numeric {
+			err = fmt.Errorf("opt: %s (phase %d, round %d): %w", iv.Msg, phase, rounds, mpsserr.ErrNumeric)
+		} else {
+			err = fmt.Errorf("opt: solver panic: %v (phase %d, round %d): %w", r, phase, rounds, mpsserr.ErrInternal)
+		}
+		res = nil
+	}()
+
 	ivs := job.Partition(in.Jobs)
 	used := make([]int, len(ivs)) // processors occupied by earlier phases
 	remaining := make([]int, 0, in.N())
@@ -205,8 +303,9 @@ func runPhases(in *job.Instance, eng phaseEngine, rec *obs.Recorder, parent *obs
 		remaining = append(remaining, i)
 	}
 
-	res := &Result{Schedule: schedule.New(in.M), Intervals: ivs}
+	res = &Result{Schedule: schedule.New(in.M), Intervals: ivs}
 	eng.prepare(in, ivs, &res.Stats, rec)
+	_, isExact := eng.(*exactEngine)
 
 	for len(remaining) > 0 {
 		span := parent.StartSpan(eng.spanName(len(res.Phases) + 1))
@@ -228,6 +327,9 @@ func runPhases(in *job.Instance, eng phaseEngine, rec *obs.Recorder, parent *obs
 				}
 				continue
 			}
+			if testHookRound != nil {
+				testHookRound(isExact)
+			}
 			if eng.solveRound() {
 				break
 			}
@@ -242,7 +344,13 @@ func runPhases(in *job.Instance, eng phaseEngine, rec *obs.Recorder, parent *obs
 		speed, mj, tkj := eng.accept()
 		cand := eng.acceptedCand()
 		if err := emitPhase(in, ivs, used, cand, speed, mj, tkj, res); err != nil {
-			return nil, err
+			// Packing can only fail when the flow the engine certified
+			// does not fit its intervals: precision loss on the float
+			// path (the ladder retries), a bug on the exact path.
+			if isExact {
+				return nil, fmt.Errorf("%v: %w", err, mpsserr.ErrInternal)
+			}
+			return nil, fmt.Errorf("%v: %w", err, mpsserr.ErrNumeric)
 		}
 		rec.Add("opt.phases", 1)
 		span.Add("jobs_saturated", int64(len(cand)))

@@ -44,6 +44,7 @@
 package mpss
 
 import (
+	"fmt"
 	"io"
 
 	"mpss/internal/bkp"
@@ -157,7 +158,14 @@ func MustAlpha(alpha float64) Alpha { return power.MustAlpha(alpha) }
 // instance using the paper's combinatorial flow-based algorithm. The
 // result is feasible and optimal for every convex non-decreasing power
 // function with P(0) = 0.
+//
+// Failures are classified by the package's sentinel errors (see
+// ErrInvalidInstance and friends); the solver never panics on caller
+// input.
 func OptimalSchedule(in *Instance, opts ...SolveOption) (*OptimalResult, error) {
+	if err := ValidateInstance(in); err != nil {
+		return nil, err
+	}
 	cfg := buildSolveConfig(opts)
 	return opt.Schedule(in, opt.WithRecorder(cfg.rec))
 }
@@ -166,6 +174,9 @@ func OptimalSchedule(in *Instance, opts ...SolveOption) (*OptimalResult, error) 
 // out in exact rational arithmetic. Slower, but immune to floating-point
 // misclassification.
 func OptimalScheduleExact(in *Instance, opts ...SolveOption) (*OptimalResult, error) {
+	if err := ValidateInstance(in); err != nil {
+		return nil, err
+	}
 	cfg := buildSolveConfig(opts)
 	return opt.Schedule(in, opt.Exact(), opt.WithRecorder(cfg.rec))
 }
@@ -184,6 +195,9 @@ func YDS(jobs []Job) (*Schedule, error) {
 // paper: the result consumes at most alpha^alpha times the optimal energy
 // under P(s) = s^alpha.
 func OA(in *Instance, opts ...SolveOption) (*OAResult, error) {
+	if err := ValidateInstance(in); err != nil {
+		return nil, err
+	}
 	cfg := buildSolveConfig(opts)
 	return online.OA(in, online.WithRecorder(cfg.rec))
 }
@@ -192,6 +206,9 @@ func OA(in *Instance, opts ...SolveOption) (*OAResult, error) {
 // of the paper: the result consumes at most (2 alpha)^alpha/2 + 1 times
 // the optimal energy under P(s) = s^alpha.
 func AVR(in *Instance, opts ...SolveOption) (*AVRResult, error) {
+	if err := ValidateInstance(in); err != nil {
+		return nil, err
+	}
 	cfg := buildSolveConfig(opts)
 	return online.AVR(in, online.WithRecorder(cfg.rec))
 }
@@ -214,7 +231,15 @@ func LeastWorkAssignment() Assignment { return online.LeastWorkAssignment() }
 
 // Verify checks a schedule against the feasibility invariants of the
 // model (windows, volumes, no processor or job overlap).
-func Verify(s *Schedule, in *Instance) error { return s.Verify(in) }
+func Verify(s *Schedule, in *Instance) error {
+	if err := ValidateInstance(in); err != nil {
+		return err
+	}
+	if s == nil {
+		return fmt.Errorf("mpss: nil schedule: %w", ErrInvalidInstance)
+	}
+	return s.Verify(in)
+}
 
 // OABound returns alpha^alpha, the proven competitive ratio of OA(m).
 func OABound(alpha float64) float64 { return power.MustAlpha(alpha).OABound() }

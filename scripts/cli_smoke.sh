@@ -1,0 +1,75 @@
+#!/bin/sh
+# CLI smoke test: every command-line tool must exit within the documented
+# convention — 0 = success, 1 = domain failure, 2 = usage/invalid input —
+# and must never print a Go panic trace. Go panics exit with status 2,
+# which the convention would otherwise mask, so stderr is grepped too.
+#
+# Run from the repository root (make cli-smoke does).
+set -u
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+fail=0
+
+bins="mpss-gen mpss-opt mpss-sim mpss-verify mpss-bench benchjson"
+for b in $bins; do
+    if ! $GO build -o "$tmp/$b" "./cmd/$b"; then
+        echo "cli-smoke: building $b failed" >&2
+        exit 1
+    fi
+done
+
+# run NAME EXPECTED_RC CMD... — runs CMD with stderr captured, checks the
+# exit code matches and that no panic trace leaked.
+run() {
+    name=$1 want=$2
+    shift 2
+    "$@" >"$tmp/out" 2>"$tmp/err"
+    rc=$?
+    if [ "$rc" -ne "$want" ]; then
+        echo "cli-smoke: $name: exit $rc, want $want" >&2
+        sed 's/^/    /' "$tmp/err" >&2
+        fail=1
+    fi
+    case $rc in
+        0|1|2) ;;
+        *)
+            echo "cli-smoke: $name: exit $rc outside {0,1,2}" >&2
+            fail=1
+            ;;
+    esac
+    if grep -q "panic:" "$tmp/err"; then
+        echo "cli-smoke: $name: panic trace on stderr" >&2
+        sed 's/^/    /' "$tmp/err" >&2
+        fail=1
+    fi
+}
+
+# Happy path: generate -> solve -> verify.
+run "gen" 0 "$tmp/mpss-gen" -workload bursty -n 6 -m 2 -seed 7 -o "$tmp/inst.json"
+run "opt" 0 "$tmp/mpss-opt" -in "$tmp/inst.json" -json "$tmp/sched.json"
+run "verify" 0 "$tmp/mpss-verify" -instance "$tmp/inst.json" -schedule "$tmp/sched.json" -optimal
+run "sim oa" 0 "$tmp/mpss-sim" -in "$tmp/inst.json" -alg oa
+run "sim avr" 0 "$tmp/mpss-sim" -in "$tmp/inst.json" -alg avr
+run "bench e1" 0 "$tmp/mpss-bench" -experiment e1 -seeds 1 -n 8 -workers 1
+
+# Usage errors: exit 2.
+run "verify no args" 2 "$tmp/mpss-verify"
+run "opt missing file" 2 "$tmp/mpss-opt" -in "$tmp/definitely-missing.json"
+
+# Invalid instances: exit 2 (ErrInvalidInstance), not a crash.
+printf '{"m": 0, "jobs": [{"id": 1, "release": 0, "deadline": 1, "work": 1}]}' >"$tmp/bad-m.json"
+run "opt m=0" 2 "$tmp/mpss-opt" -in "$tmp/bad-m.json"
+printf '{"m": 2, "jobs": [{"id": 1, "release": 5, "deadline": 1, "work": 1}]}' >"$tmp/bad-window.json"
+run "opt inverted window" 2 "$tmp/mpss-opt" -in "$tmp/bad-window.json"
+run "sim inverted window" 2 "$tmp/mpss-sim" -in "$tmp/bad-window.json" -alg avr
+
+# benchjson: malformed input is a domain failure, not a crash.
+printf 'not benchmark output\n' | run "benchjson garbage" 0 "$tmp/benchjson" -o "$tmp/bench.json"
+
+if [ "$fail" -ne 0 ]; then
+    echo "cli-smoke: FAIL" >&2
+    exit 1
+fi
+echo "cli-smoke: ok"
