@@ -39,7 +39,7 @@ verify: build vet test race cli-smoke
 # bench_opt.txt for `benchstat old.txt bench_opt.txt` comparisons.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run xxx .
-	$(GO) test -run xxx -bench 'BenchmarkOptSchedule|BenchmarkFeasibleAtSpeed' \
+	$(GO) test -run xxx -bench 'BenchmarkOptSchedule|BenchmarkFeasibleAtSpeed|BenchmarkMinFeasibleCap' \
 		-benchtime 3x -count 1 ./internal/opt/ | tee bench_opt.txt
 	$(GO) run ./cmd/benchjson -o BENCH_opt.json < bench_opt.txt >/dev/null
 

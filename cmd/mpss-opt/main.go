@@ -27,6 +27,7 @@ func main() {
 		inPath     = flag.String("in", "", "instance JSON file (default stdin)")
 		alpha      = flag.Float64("alpha", 3, "power function exponent (P(s) = s^alpha)")
 		exact      = flag.Bool("exact", false, "use exact rational arithmetic for phase decisions")
+		parallel   = flag.Int("parallel", 1, "flow-solver workers for large cold solves (<=1 sequential; ignored with -exact)")
 		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart")
 		jsonOut    = flag.String("json", "", "write the schedule as JSON to this file")
 		svgOut     = flag.String("svg", "", "write the schedule as an SVG figure to this file")
@@ -67,7 +68,7 @@ func main() {
 	if *exact {
 		solve = mpss.OptimalScheduleExact
 	}
-	res, err := solve(in, mpss.WithRecorder(rec))
+	res, err := solve(in, mpss.WithRecorder(rec), mpss.WithParallelism(*parallel))
 	if err != nil {
 		fail(err)
 	}

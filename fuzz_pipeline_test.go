@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"mpss/internal/opt"
 )
 
 // FuzzSolvePipeline feeds raw, hostile job fields — NaN, infinities,
@@ -24,6 +26,10 @@ func FuzzSolvePipeline(f *testing.F) {
 	// Range extremes: huge volumes in tiny windows (speed overflow) and
 	// tiny volumes in huge windows (speed underflow).
 	f.Add(int8(1), 0.0, 5e-324, math.MaxFloat64, -1e300, 1e300, 5e-324, 0.0, 1.0, 1.0)
+	// Overlapping staggered windows on three processors: valid and sane,
+	// so the body's second solve routes through the parallel push-relabel
+	// dispatch (see testdata/fuzz/FuzzSolvePipeline/parallel-dispatch).
+	f.Add(int8(3), 0.0, 6.0, 9.0, 1.0, 7.0, 4.0, 2.0, 8.0, 5.0)
 
 	f.Fuzz(func(t *testing.T, m int8, r1, d1, w1, r2, d2, w2, r3, d3, w3 float64) {
 		in := &Instance{M: int(m), Jobs: []Job{
@@ -60,6 +66,26 @@ func FuzzSolvePipeline(f *testing.F) {
 			if sane(in) {
 				if verr := Verify(res.Schedule, in); verr != nil {
 					t.Errorf("OptimalSchedule: infeasible schedule for valid instance: %v", verr)
+				}
+			}
+		}
+
+		// Same instance through the parallel flow engine. The edge
+		// threshold is lowered so even these tiny networks dispatch to
+		// the concurrent push-relabel solver, extending the no-panic /
+		// typed-error contract to the worker goroutine path.
+		if err == nil && sane(in) {
+			oldThreshold := opt.ParallelEdgeThreshold
+			opt.ParallelEdgeThreshold = 1
+			pres, perr := OptimalSchedule(in, WithParallelism(2))
+			opt.ParallelEdgeThreshold = oldThreshold
+			check("OptimalSchedule(parallel)", perr)
+			if perr == nil {
+				if pres == nil || pres.Schedule == nil {
+					t.Fatal("OptimalSchedule(parallel): nil result without error")
+				}
+				if verr := Verify(pres.Schedule, in); verr != nil {
+					t.Errorf("OptimalSchedule(parallel): infeasible schedule: %v", verr)
 				}
 			}
 		}

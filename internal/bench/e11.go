@@ -72,6 +72,7 @@ func E11(cfg Config, sizes []int) ([]E11Row, error) {
 			rec.Add("flow.pr.relabels", pops.Relabels)
 			rec.Add("flow.pr.gap_firings", pops.GapFirings)
 			rec.Add("flow.pr.discharges", pops.Discharges)
+			rec.Add("flow.pr.global_relabels", pops.GlobalRelabels)
 
 			if math.Abs(dv-pv) > 1e-6*(1+dv) {
 				row.Agree = false

@@ -48,11 +48,16 @@ func E13(cfg Config) ([]E13Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				optRes, err := opt.Schedule(in)
+				optRes, err := opt.Schedule(in,
+					opt.WithParallelism(cfg.Parallelism), opt.WithRecorder(cfg.Recorder))
 				if err != nil {
 					return nil, fmt.Errorf("E13 %s seed=%d: %w", gname, seed, err)
 				}
-				minCap, err := opt.MinFeasibleCap(in, 1e-6)
+				var capOpts []opt.CapOption
+				if cfg.Parallelism > 1 {
+					capOpts = append(capOpts, opt.WithProbeParallelism(cfg.Parallelism))
+				}
+				minCap, err := opt.MinFeasibleCapObserved(in, 1e-6, cfg.Recorder, capOpts...)
 				if err != nil {
 					return nil, err
 				}

@@ -145,8 +145,17 @@ type Graph struct {
 	haveST       bool
 
 	// Reusable scratch for MaxFlow, CoReachable and the drain walks.
+	// upPath is owned by flowPathUp so the up- and down-walks of one
+	// drain can coexist (flowPathDown owns queue).
 	level, iter, queue []int32
+	upPath             []int32
 	mark               []bool
+
+	// Parallel push-relabel state (parallel.go): scratch arenas are
+	// allocated lazily on the first MaxFlowParallel call and reused —
+	// sequential users never pay for them.
+	parOps ParOps
+	par    *parScratch
 }
 
 // Ops returns the operation counts accumulated by MaxFlow since the last
@@ -178,11 +187,16 @@ func (g *Graph) Reset(n int) {
 	g.maxCapOK = true
 	g.tol = 0
 	g.ops = DinicOps{}
+	g.parOps = ParOps{}
 	g.haveST = false
 }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.nv }
+
+// EdgeCount returns the number of forward edges added so far — the size
+// measure the solver's parallel-dispatch threshold is expressed in.
+func (g *Graph) EdgeCount() int { return len(g.edges) / 2 }
 
 // SetTolerance overrides the absolute saturation tolerance. A zero value
 // restores the default (DefaultTolerance times the largest capacity).
@@ -656,11 +670,11 @@ func (g *Graph) flowPathDown(v, t int, tol float64) ([]int32, bool) {
 }
 
 // flowPathUp returns forward-edge ids of a positive-flow path from s to
-// v, found by walking flow-carrying in-edges backward from v.
+// v, found by walking flow-carrying in-edges backward from v. The
+// returned slice is the graph's upPath scratch, valid until the next
+// call.
 func (g *Graph) flowPathUp(v, s int, tol float64) ([]int32, bool) {
-	// Allocated separately so down- and up-paths coexist (flowPathDown
-	// owns the queue scratch).
-	path := make([]int32, 0, 8)
+	path := g.upPath[:0]
 	for steps := 0; v != s; steps++ {
 		if steps > g.nv {
 			return nil, false
@@ -680,9 +694,11 @@ func (g *Graph) flowPathUp(v, s int, tol float64) ([]int32, bool) {
 			}
 		}
 		if !found {
+			g.upPath = path[:0]
 			return nil, false
 		}
 	}
+	g.upPath = path[:0]
 	return path, true
 }
 

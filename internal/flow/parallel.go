@@ -1,0 +1,640 @@
+package flow
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mpss/internal/pool"
+)
+
+// Concurrent push-relabel over the same flat CSR edge arena the Dinic
+// solver uses. MaxFlowParallel is the cold-solve partner of Graph.MaxFlow
+// in the solver's dispatch policy: it computes a maximum flow from zero
+// with `workers` goroutines, then leaves the graph holding an ordinary
+// feasible maximum flow — so Flow, CoReachable and the incremental
+// warm-start mutators keep working exactly as after a sequential solve.
+//
+// Concurrency design (Anderson–Setubal style):
+//
+//   - One lock per vertex guards its excess and the capacities of its
+//     incident edges. A push on (u,v) holds both locks, acquiring v's
+//     with TryLock only — a failed acquisition marks the edge skipped
+//     instead of blocking, so lock acquisition can never deadlock. If a
+//     scan makes no progress solely because of skipped edges, the vertex
+//     is requeued and the worker moves on.
+//   - Heights are read and written atomically. A vertex's height is only
+//     written by the worker holding its lock (or by the global relabeler
+//     during a stop-the-world pass), and heights never decrease during
+//     the concurrent phase, so a stale read is always a lower bound —
+//     which keeps relabels conservative and the labeling valid.
+//   - Active vertices live in per-worker deques (pool.Deque); idle
+//     workers steal from the head of their neighbours' deques.
+//   - The gap heuristic survives in detection form: an atomic height
+//     histogram notices an emptied level below n and requests an
+//     immediate stop-the-world global relabel, which lifts every vertex
+//     stranded above the gap past n (they cannot reach the sink, so the
+//     exact relabeling is at least as strong as the sequential gap lift).
+//   - Global relabeling — a reverse BFS from the sink (and from the
+//     source for sink-unreachable vertices) recomputing exact height
+//     labels — runs as a stop-the-world pass every n relabels, guarded
+//     by an RWMutex that every discharge holds for reading.
+//
+// Phase 1 terminates with a maximum preflow: the flow value is already
+// final, but excess may be trapped on interior vertices. A sequential
+// phase 2 (returnExcess) cancels that excess back to the source along
+// flow-carrying in-edges, canceling any flow cycles it meets, which
+// turns the preflow into a feasible maximum flow.
+//
+// Determinism: the maximum-flow *value* is unique, so every worker count
+// agrees on it up to float64 rounding of the push arithmetic (the
+// differential tests bound the disagreement by DiffTolerance). The flow
+// *decomposition* — which edges carry how much — is not unique and does
+// legitimately differ between runs; callers that need reproducible
+// per-edge flows use the sequential solvers. The value returned is
+// re-summed over the sink's incident edges in CSR order, so the
+// summation order itself never contributes nondeterminism.
+
+// ParOps counts the elementary operations of MaxFlowParallel runs, for
+// the observability layer. Counts accumulate across calls on the same
+// graph and reset with Reset.
+type ParOps struct {
+	Pushes         int64 // saturating and non-saturating pushes
+	Relabels       int64 // height increases (concurrent phase)
+	Discharges     int64 // vertices popped and discharged
+	GlobalRelabels int64 // stop-the-world exact relabeling passes
+	GapFirings     int64 // emptied height levels detected below n
+	Steals         int64 // vertices taken from another worker's deque
+}
+
+// Add accumulates o into p.
+func (p *ParOps) Add(o ParOps) {
+	p.Pushes += o.Pushes
+	p.Relabels += o.Relabels
+	p.Discharges += o.Discharges
+	p.GlobalRelabels += o.GlobalRelabels
+	p.GapFirings += o.GapFirings
+	p.Steals += o.Steals
+}
+
+// Sub returns p minus o, for per-solve deltas on a reused graph.
+func (p ParOps) Sub(o ParOps) ParOps {
+	return ParOps{
+		Pushes:         p.Pushes - o.Pushes,
+		Relabels:       p.Relabels - o.Relabels,
+		Discharges:     p.Discharges - o.Discharges,
+		GlobalRelabels: p.GlobalRelabels - o.GlobalRelabels,
+		GapFirings:     p.GapFirings - o.GapFirings,
+		Steals:         p.Steals - o.Steals,
+	}
+}
+
+// ParOps returns the parallel-solver operation counts accumulated since
+// the last Reset.
+func (g *Graph) ParOps() ParOps { return g.parOps }
+
+// parScratch holds the per-run state of the concurrent solver, kept on
+// the graph so pooled graphs reuse the arenas across solves.
+type parScratch struct {
+	height []int32   // atomic; current label per vertex
+	excess []float64 // guarded by lock[v]
+	lock   []sync.Mutex
+	active []int32 // atomic; 1 while queued or being discharged
+	counts []int32 // atomic histogram of heights, for gap detection
+	dist   []int32 // BFS scratch of the global relabeler
+	queues []pool.Deque[int32]
+}
+
+func (g *Graph) parEnsure(n, workers int) *parScratch {
+	if g.par == nil {
+		g.par = &parScratch{}
+	}
+	p := g.par
+	p.height = growInt32(p.height, n)
+	p.active = growInt32(p.active, n)
+	p.dist = growInt32(p.dist, n)
+	p.counts = growInt32(p.counts, 2*n+1)
+	if cap(p.excess) < n {
+		p.excess = make([]float64, n)
+	}
+	p.excess = p.excess[:n]
+	if len(p.lock) < n {
+		p.lock = make([]sync.Mutex, n)
+	}
+	for len(p.queues) < workers {
+		p.queues = append(p.queues, pool.Deque[int32]{})
+	}
+	return p
+}
+
+// parRun is one MaxFlowParallel execution.
+type parRun struct {
+	g       *Graph
+	p       *parScratch
+	s, t    int32
+	n       int
+	tol     float64
+	workers int
+
+	pending  atomic.Int64 // vertices currently active (queued or in flight)
+	relabels atomic.Int64 // relabels since the last global relabel
+	grEvery  int64        // global-relabel period, in relabels
+	stw      atomic.Bool  // a stop-the-world pass is requested
+	grClaim  atomic.Bool  // elects the worker that runs the pass
+	world    sync.RWMutex // read-held per discharge; write-held by the pass
+
+	ops []ParOps // per-worker tallies, merged at the end
+
+	// failed carries the first worker panic to the calling goroutine, so
+	// invariant violations raised inside a worker reach the solver's
+	// recover boundary (internal/opt.runPhases) like sequential ones.
+	failed   atomic.Bool
+	failOnce sync.Once
+	failure  any
+}
+
+// abort records a worker panic and tells every worker to wind down.
+func (r *parRun) abort(p any) {
+	r.failOnce.Do(func() { r.failure = p })
+	r.failed.Store(true)
+}
+
+// MaxFlowParallel computes a maximum s-t flow from zero flow with the
+// given number of worker goroutines (values < 1 mean one worker) and
+// returns its value. The graph must carry no flow — it is either freshly
+// built, Reset, or ResetFlow; solving on top of an existing warm flow is
+// the sequential engine's job. Afterwards the graph holds a feasible
+// maximum flow: Flow, OutFlow, CoReachable and the incremental mutators
+// all behave as after a sequential MaxFlow call.
+func (g *Graph) MaxFlowParallel(s, t, workers int) float64 {
+	if s == t {
+		panic("flow: source equals sink")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	g.build()
+	g.ensureScratch(g.nv)
+	for i := range g.edges {
+		if g.edges[i].cap != g.edges[i].orig {
+			violate(false, "parallel solve requires a flow-free graph")
+		}
+	}
+	g.lastS, g.lastT, g.haveST = s, t, true
+
+	n := g.nv
+	p := g.parEnsure(n, workers)
+	r := &parRun{
+		g: g, p: p, s: int32(s), t: int32(t), n: n,
+		tol:     g.tolerance(),
+		workers: workers,
+		grEvery: int64(max(n, 32)),
+		ops:     make([]ParOps, workers),
+	}
+
+	for v := 0; v < n; v++ {
+		atomic.StoreInt32(&p.height[v], 0)
+		atomic.StoreInt32(&p.active[v], 0)
+		p.excess[v] = 0
+	}
+	atomic.StoreInt32(&p.height[s], int32(n))
+
+	// Saturate the source's out-edges to form the initial preflow.
+	for i := g.adjOff[s]; i < g.adjOff[s+1]; i++ {
+		eid := g.adjLst[i]
+		e := &g.edges[eid]
+		if eid&1 != 0 || e.cap <= 0 {
+			continue
+		}
+		d := e.cap
+		e.cap = 0
+		g.edges[eid^1].cap += d
+		p.excess[e.to] += d
+	}
+
+	// Exact initial labels, then enqueue every vertex holding excess.
+	r.globalRelabel(&r.ops[0])
+	next := 0
+	for v := 0; v < n; v++ {
+		if v != s && v != t && p.excess[v] > r.tol {
+			atomic.StoreInt32(&p.active[v], 1)
+			r.pending.Add(1)
+			p.queues[next%workers].Push(int32(v))
+			next++
+		}
+	}
+
+	if workers == 1 {
+		r.worker(0) // panics propagate directly on the caller's stack
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				defer func() {
+					if rec := recover(); rec != nil {
+						r.abort(rec)
+					}
+				}()
+				r.worker(id)
+			}(w)
+		}
+		wg.Wait()
+		if r.failure != nil {
+			panic(r.failure)
+		}
+	}
+
+	var total ParOps
+	for i := range r.ops {
+		total.Add(r.ops[i])
+	}
+	g.parOps.Add(total)
+
+	g.returnExcess(s, t, p.excess, r.tol)
+	return g.netInflow(t)
+}
+
+// worker is one solver goroutine: pop from the own deque, steal when
+// empty, discharge, and cooperate with stop-the-world passes.
+func (r *parRun) worker(id int) {
+	ops := &r.ops[id]
+	for {
+		if r.failed.Load() {
+			return
+		}
+		if r.stw.Load() {
+			r.runStopTheWorld(ops)
+			continue
+		}
+		v, ok := r.p.queues[id].Pop()
+		if !ok {
+			for off := 1; off < r.workers; off++ {
+				if v, ok = r.p.queues[(id+off)%r.workers].Steal(); ok {
+					ops.Steals++
+					break
+				}
+			}
+		}
+		if !ok {
+			if r.pending.Load() == 0 {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		ops.Discharges++
+		if r.discharge(id, v, ops) {
+			// Blocked on lock contention: requeue after the locks are
+			// released and give the holders a turn, so two vertices
+			// pushing toward each other cannot spin hot.
+			r.p.queues[id].Push(v)
+			runtime.Gosched()
+		}
+	}
+}
+
+// runStopTheWorld elects one worker to run the global relabel; everyone
+// else yields until the pass completes. Discharges in flight finish
+// first (the pass takes the world lock for writing).
+func (r *parRun) runStopTheWorld(ops *ParOps) {
+	if r.grClaim.CompareAndSwap(false, true) {
+		r.world.Lock()
+		if r.stw.Load() {
+			r.globalRelabel(ops)
+			r.stw.Store(false)
+		}
+		r.world.Unlock()
+		r.grClaim.Store(false)
+		return
+	}
+	runtime.Gosched()
+}
+
+// discharge drains the excess of v: push along admissible edges, relabel
+// when none remain. Called with v's active flag set; clears it before
+// returning, unless it reports true — then the scan was blocked purely
+// by lock contention and the caller must requeue v (still active).
+func (r *parRun) discharge(id int, v int32, ops *ParOps) (requeue bool) {
+	r.world.RLock()
+	defer r.world.RUnlock()
+	g, p := r.g, r.p
+	p.lock[v].Lock()
+	defer p.lock[v].Unlock()
+
+	for p.excess[v] > r.tol {
+		skipped := false
+		progress := false
+		for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+			eid := g.adjLst[i]
+			e := &g.edges[eid]
+			if e.cap <= r.tol {
+				continue
+			}
+			w := e.to
+			if atomic.LoadInt32(&p.height[v]) != atomic.LoadInt32(&p.height[w])+1 {
+				continue
+			}
+			if !p.lock[w].TryLock() {
+				skipped = true
+				continue
+			}
+			// Re-check admissibility under both locks: w's height is
+			// frozen now, and e's capacity can only have been changed by
+			// holders of v's or w's lock — both are us.
+			if e.cap > r.tol && atomic.LoadInt32(&p.height[v]) == atomic.LoadInt32(&p.height[w])+1 {
+				d := p.excess[v]
+				if e.cap < d {
+					d = e.cap
+				}
+				e.cap -= d
+				g.edges[eid^1].cap += d
+				p.excess[v] -= d
+				p.excess[w] += d
+				ops.Pushes++
+				progress = true
+				if w != r.s && w != r.t && p.excess[w] > r.tol &&
+					atomic.CompareAndSwapInt32(&p.active[w], 0, 1) {
+					r.pending.Add(1)
+					p.queues[id].Push(w)
+				}
+			}
+			p.lock[w].Unlock()
+			if p.excess[v] <= r.tol {
+				break
+			}
+		}
+		if p.excess[v] <= r.tol {
+			break
+		}
+		if skipped && !progress {
+			// Every remaining admissible edge was lock-contended: hand v
+			// back to the caller (still active) to requeue once the locks
+			// here are released.
+			return true
+		}
+		if !progress && !skipped {
+			if !r.relabel(v, ops) {
+				break // no residual exit at all: excess is trapped
+			}
+			if atomic.LoadInt32(&p.height[v]) >= int32(2*r.n) {
+				break // lifted out of play: excess returns in phase 2
+			}
+			if r.relabels.Add(1) >= r.grEvery {
+				r.relabels.Store(0)
+				r.stw.Store(true)
+			}
+		}
+	}
+	atomic.StoreInt32(&p.active[v], 0)
+	r.pending.Add(-1)
+	return false
+}
+
+// relabel lifts v to one above its lowest residual neighbour. Returns
+// false when v has no residual out-edge left. Caller holds v's lock.
+func (r *parRun) relabel(v int32, ops *ParOps) bool {
+	g, p := r.g, r.p
+	minH := int32(2 * r.n)
+	for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+		e := &g.edges[g.adjLst[i]]
+		if e.cap > r.tol {
+			if h := atomic.LoadInt32(&p.height[e.to]); h < minH {
+				minH = h
+			}
+		}
+	}
+	if minH >= int32(2*r.n) {
+		return false
+	}
+	old := atomic.LoadInt32(&p.height[v])
+	nh := minH + 1
+	if nh <= old {
+		// Heights never decrease and v held its lock throughout, so a
+		// failed scan guarantees every residual neighbour is at least at
+		// v's height; anything else is a broken labeling invariant.
+		violate(false, "parallel relabel did not raise the height")
+	}
+	atomic.StoreInt32(&p.height[v], nh)
+	ops.Relabels++
+	// Gap detection on the atomic height histogram. Firing requests a
+	// stop-the-world exact relabel, which lifts everything stranded
+	// above the emptied level past n in one sweep.
+	if atomic.AddInt32(&p.counts[nh], 1); old < int32(r.n) {
+		if atomic.AddInt32(&p.counts[old], -1) == 0 {
+			ops.GapFirings++
+			r.stw.Store(true)
+		}
+	} else {
+		atomic.AddInt32(&p.counts[old], -1)
+	}
+	return true
+}
+
+// globalRelabel recomputes every height as an exact residual distance:
+// dist-to-sink for vertices that can still reach the sink, n + dist-to-
+// source for the rest (they can only return excess), 2n for vertices
+// reaching neither. Runs with the world write-locked (or before the
+// workers start), so plain iteration is safe; stores remain atomic to
+// pair with the readers' atomic loads.
+func (r *parRun) globalRelabel(ops *ParOps) {
+	g, p := r.g, r.p
+	n := r.n
+	ops.GlobalRelabels++
+
+	// Reverse BFS from t over residual edges (u reaches cur iff the
+	// partner of an adjacency edge of cur has residual capacity).
+	dist := p.dist
+	for v := 0; v < n; v++ {
+		dist[v] = -1
+	}
+	dist[r.t] = 0
+	queue := append(g.queue[:0], r.t)
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for i := g.adjOff[cur]; i < g.adjOff[cur+1]; i++ {
+			id := g.adjLst[i]
+			if g.edges[id^1].cap > r.tol {
+				u := g.edges[id].to
+				if dist[u] < 0 {
+					dist[u] = dist[cur] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		h := atomic.LoadInt32(&p.height[v])
+		switch {
+		case v == int(r.s):
+			h = int32(n)
+		case dist[v] >= 0:
+			if dist[v] > h {
+				h = dist[v]
+			}
+		default:
+			h = -1 // resolved by the source BFS below
+		}
+		atomic.StoreInt32(&p.height[v], h)
+	}
+
+	// Reverse BFS from s for the sink-unreachable remainder.
+	for v := 0; v < n; v++ {
+		dist[v] = -1
+	}
+	dist[r.s] = 0
+	queue = append(queue[:0], r.s)
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for i := g.adjOff[cur]; i < g.adjOff[cur+1]; i++ {
+			id := g.adjLst[i]
+			if g.edges[id^1].cap > r.tol {
+				u := g.edges[id].to
+				if dist[u] < 0 {
+					dist[u] = dist[cur] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	g.queue = queue[:0]
+	for v := 0; v < n; v++ {
+		if atomic.LoadInt32(&p.height[v]) >= 0 {
+			continue
+		}
+		h := int32(2 * n)
+		if dist[v] >= 0 {
+			h = int32(n) + dist[v]
+		}
+		atomic.StoreInt32(&p.height[v], h)
+	}
+
+	for h := range p.counts {
+		p.counts[h] = 0
+	}
+	for v := 0; v < n; v++ {
+		h := atomic.LoadInt32(&p.height[v])
+		if int(h) < len(p.counts) {
+			atomic.AddInt32(&p.counts[h], 1)
+		}
+	}
+	r.relabels.Store(0)
+}
+
+// returnExcess converts the maximum preflow left by phase 1 into a
+// feasible maximum flow: every unit of excess trapped on an interior
+// vertex is canceled back to the source along flow-carrying in-edges.
+// Flow cycles met on the walk (impossible on the solver's layered DAGs,
+// but legal in general graphs) are canceled in place. Sequential — it
+// runs after the workers have joined.
+func (g *Graph) returnExcess(s, t int, excess []float64, tol float64) {
+	for v := range excess {
+		if v == s || v == t {
+			continue
+		}
+		for guard := 0; excess[v] > tol; guard++ {
+			if guard > len(g.edges)+2 {
+				violate(true, "excess return failed to converge")
+			}
+			if !g.cancelExcessPath(v, s, &excess[v], tol) {
+				// No flow-carrying in-edge despite excess above the
+				// tolerance: conservation is broken beyond rounding.
+				violate(true, "trapped excess with no inflow path")
+			}
+		}
+	}
+}
+
+// cancelExcessPath walks flow-carrying in-edges backward from v toward
+// s, canceling min(excess, bottleneck) along the path when it reaches s,
+// or canceling a flow cycle when the walk revisits a vertex. Reports
+// whether it made progress.
+func (g *Graph) cancelExcessPath(v, s int, excess *float64, tol float64) bool {
+	// onPath[u] is 1 + index into path of the edge that left u, so a
+	// revisited vertex identifies the cycle segment to cancel.
+	n := g.nv
+	g.ensureScratch(n)
+	path := g.upPath[:0]
+	onPath := g.level // borrow: MaxFlow refills it
+	for i := 0; i < n; i++ {
+		onPath[i] = 0
+	}
+	cur := v
+	for {
+		if cur == s {
+			d := *excess
+			for _, id := range path {
+				e := &g.edges[id]
+				if f := e.orig - e.cap; f < d {
+					d = f
+				}
+			}
+			for _, id := range path {
+				g.cancel(id, d)
+			}
+			*excess -= d
+			g.upPath = path[:0]
+			return d > 0
+		}
+		found := false
+		for i := g.adjOff[cur]; i < g.adjOff[cur+1]; i++ {
+			id := g.adjLst[i]
+			if id&1 == 0 {
+				continue // forward edge leaving cur
+			}
+			fe := &g.edges[id^1] // forward partner: an edge into cur
+			if fe.orig-fe.cap > tol {
+				from := int(fe.from)
+				if onPath[from] > 0 {
+					// Flow cycle from..cur: cancel its bottleneck.
+					seg := path[onPath[from]-1:]
+					seg = append(seg, id^1)
+					d := g.edges[seg[0]].orig - g.edges[seg[0]].cap
+					for _, sid := range seg[1:] {
+						se := &g.edges[sid]
+						if f := se.orig - se.cap; f < d {
+							d = f
+						}
+					}
+					g.upPath = path[:0]
+					if d <= 0 {
+						return false
+					}
+					for _, sid := range seg {
+						g.cancel(sid, d)
+					}
+					return true
+				}
+				path = append(path, id^1)
+				onPath[cur] = int32(len(path))
+				cur = from
+				found = true
+				break
+			}
+		}
+		if !found {
+			g.upPath = path[:0]
+			return false
+		}
+	}
+}
+
+// netInflow returns the net flow into v (inflow on forward edges ending
+// at v minus outflow on forward edges leaving it), summed in CSR order
+// so repeated calls on the same flow are bit-identical.
+func (g *Graph) netInflow(v int) float64 {
+	g.build()
+	var f float64
+	for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+		id := g.adjLst[i]
+		e := &g.edges[id]
+		if id&1 != 0 { // reverse edge: partner carries flow into v
+			pe := &g.edges[id^1]
+			f += pe.orig - pe.cap
+		} else if e.orig > 0 {
+			f -= e.orig - e.cap
+		}
+	}
+	return f
+}

@@ -1,0 +1,292 @@
+package flow
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// parallelWorkerCounts are the worker counts every differential test
+// sweeps: the sequential degenerate case, the smallest truly concurrent
+// case, and heavy oversubscription (8 workers on the test machines'
+// GOMAXPROCS exercises stealing and stop-the-world under contention).
+var parallelWorkerCounts = []int{1, 2, 8}
+
+// TestParallelDifferentialRandomNets checks MaxFlowParallel against
+// Dinic, sequential push-relabel and the exact rational solver on the
+// random solver-shaped corpus, at every worker count.
+func TestParallelDifferentialRandomNets(t *testing.T) {
+	for seed := int64(1); seed <= 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomNet(rng)
+		s, sink := 0, net.sink()
+
+		dg := NewGraph(net.vertices())
+		net.buildFloat(dg)
+		fv := dg.MaxFlow(s, sink)
+
+		pg := NewPRGraph(net.vertices())
+		net.buildPR(pg)
+		pv := pg.MaxFlow(s, sink)
+
+		rg := NewRatGraph(net.vertices())
+		net.buildRat(rg)
+		rv, _ := rg.MaxFlow(s, sink).Float64()
+
+		if !Close(fv, rv, SolveTolerance) || !Close(pv, rv, SolveTolerance) {
+			t.Fatalf("seed %d: sequential engines disagree: dinic %v pr %v exact %v", seed, fv, pv, rv)
+		}
+
+		for _, workers := range parallelWorkerCounts {
+			cg := NewGraph(net.vertices())
+			net.buildFloat(cg)
+			cv := cg.MaxFlowParallel(s, sink, workers)
+			if !Close(cv, rv, DiffTolerance) {
+				t.Fatalf("seed %d workers %d: parallel %v vs exact %v (net %+v)",
+					seed, workers, cv, rv, net)
+			}
+			if err := cg.CheckConservation(s, sink); err != nil {
+				t.Fatalf("seed %d workers %d: conservation after phase 2: %v", seed, workers, err)
+			}
+		}
+	}
+}
+
+// bigNet builds a larger random layered net than randomNet — enough
+// active vertices that multiple workers genuinely interleave, steal and
+// trigger stop-the-world global relabels.
+func bigNet(rng *rand.Rand) *layeredNet {
+	net := &layeredNet{
+		nJobs: 24 + rng.Intn(40),
+		nIvs:  8 + rng.Intn(16),
+		denom: int64(1 + rng.Intn(7)),
+	}
+	for k := 0; k < net.nJobs; k++ {
+		net.srcCap = append(net.srcCap, int64(rng.Intn(50)))
+	}
+	for j := 0; j < net.nIvs; j++ {
+		net.sinkCap = append(net.sinkCap, int64(rng.Intn(80)))
+	}
+	for k := 0; k < net.nJobs; k++ {
+		active := false
+		for j := 0; j < net.nIvs; j++ {
+			if rng.Intn(4) > 0 {
+				net.midCap = append(net.midCap, int64(1+rng.Intn(40)))
+				active = true
+			} else {
+				net.midCap = append(net.midCap, 0)
+			}
+		}
+		if !active {
+			net.midCap[k*net.nIvs+rng.Intn(net.nIvs)] = int64(1 + rng.Intn(40))
+		}
+	}
+	return net
+}
+
+// TestParallelDifferentialBigNets runs the worker sweep on networks
+// large enough for work stealing and periodic global relabels to fire.
+func TestParallelDifferentialBigNets(t *testing.T) {
+	var steals, globals int64
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		net := bigNet(rng)
+		s, sink := 0, net.sink()
+
+		rg := NewRatGraph(net.vertices())
+		net.buildRat(rg)
+		rv, _ := rg.MaxFlow(s, sink).Float64()
+
+		for _, workers := range parallelWorkerCounts {
+			cg := NewGraph(net.vertices())
+			net.buildFloat(cg)
+			cv := cg.MaxFlowParallel(s, sink, workers)
+			if !Close(cv, rv, DiffTolerance) {
+				t.Fatalf("seed %d workers %d: parallel %v vs exact %v", seed, workers, cv, rv)
+			}
+			if err := cg.CheckConservation(s, sink); err != nil {
+				t.Fatalf("seed %d workers %d: conservation: %v", seed, workers, err)
+			}
+			ops := cg.ParOps()
+			if ops.GlobalRelabels == 0 {
+				t.Fatalf("seed %d workers %d: no global relabel ran (initial pass must count)", seed, workers)
+			}
+			steals += ops.Steals
+			globals += ops.GlobalRelabels
+		}
+	}
+	if globals == 0 {
+		t.Fatal("global relabeling never fired across the corpus")
+	}
+	// Steals are scheduling-dependent, so no hard assertion — but log
+	// them so a silent degeneration to zero concurrency is visible.
+	t.Logf("corpus totals: steals=%d global_relabels=%d", steals, globals)
+}
+
+// TestParallelClassicNetworks pins exact values on fixed graphs,
+// including a cyclic one: phase 2 must cancel flow cycles left by the
+// preflow push order, which layered nets can never produce.
+func TestParallelClassicNetworks(t *testing.T) {
+	for _, workers := range parallelWorkerCounts {
+		// CLRS figure 24.6-style network, max flow 23.
+		g := NewGraph(6)
+		g.AddEdge(0, 1, 16)
+		g.AddEdge(0, 2, 13)
+		g.AddEdge(1, 2, 10)
+		g.AddEdge(2, 1, 4)
+		g.AddEdge(1, 3, 12)
+		g.AddEdge(3, 2, 9)
+		g.AddEdge(2, 4, 14)
+		g.AddEdge(4, 3, 7)
+		g.AddEdge(3, 5, 20)
+		g.AddEdge(4, 5, 4)
+		if v := g.MaxFlowParallel(0, 5, workers); !Close(v, 23, DefaultTolerance) {
+			t.Fatalf("workers %d: classic cyclic network: got %v, want 23", workers, v)
+		}
+		if err := g.CheckConservation(0, 5); err != nil {
+			t.Fatalf("workers %d: conservation: %v", workers, err)
+		}
+
+		// A network with a flow-trapping dead end: excess pushed into the
+		// pocket must return to the source in phase 2.
+		h := NewGraph(5)
+		h.AddEdge(0, 1, 10)
+		h.AddEdge(1, 2, 10) // pocket: no way to the sink from 2
+		h.AddEdge(1, 3, 3)
+		h.AddEdge(3, 4, 3)
+		if v := h.MaxFlowParallel(0, 4, workers); !Close(v, 3, DefaultTolerance) {
+			t.Fatalf("workers %d: dead-end network: got %v, want 3", workers, v)
+		}
+		if err := h.CheckConservation(0, 4); err != nil {
+			t.Fatalf("workers %d: dead-end conservation: %v", workers, err)
+		}
+
+		// Disconnected sink: zero flow, and phase 2 has to drain every
+		// saturated source edge back.
+		z := NewGraph(4)
+		z.AddEdge(0, 1, 5)
+		z.AddEdge(0, 2, 7)
+		z.AddEdge(1, 2, 2)
+		if v := z.MaxFlowParallel(0, 3, workers); v != 0 {
+			t.Fatalf("workers %d: disconnected sink: got %v, want 0", workers, v)
+		}
+		if err := z.CheckConservation(0, 3); err != nil {
+			t.Fatalf("workers %d: disconnected conservation: %v", workers, err)
+		}
+	}
+}
+
+// TestParallelLeavesFeasibleFlow verifies the contract that matters to
+// the dispatch policy: after MaxFlowParallel the graph holds an ordinary
+// feasible max flow, so the warm-start mutators and a sequential
+// re-augmentation continue from it correctly.
+func TestParallelLeavesFeasibleFlow(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(2000 + seed))
+		net := randomNet(rng)
+		s, sink := 0, net.sink()
+
+		wg := NewGraph(net.vertices())
+		fsrc, fsink := net.buildFloat(wg)
+		wg.MaxFlowParallel(s, sink, 1+int(seed)%3*3) // workers in {1,4,7}
+
+		kill := rng.Intn(net.nJobs)
+		shrink := rng.Intn(net.nIvs)
+		wg.RemoveJobEdge(fsrc[kill])
+		wg.SetCapacity(fsink[shrink], float64(net.sinkCap[shrink]/2)/float64(net.denom))
+		wg.MaxFlow(s, sink) // warm sequential re-augment on top
+		warmVal := 0.0
+		for k, id := range fsrc {
+			if k != kill {
+				warmVal += wg.Flow(id)
+			}
+		}
+		if err := wg.CheckConservation(s, sink); err != nil {
+			t.Fatalf("seed %d: warm-after-parallel conservation: %v", seed, err)
+		}
+
+		// Exact cold reference at the final capacities.
+		final := &layeredNet{
+			nJobs:   net.nJobs,
+			nIvs:    net.nIvs,
+			srcCap:  append([]int64(nil), net.srcCap...),
+			sinkCap: append([]int64(nil), net.sinkCap...),
+			midCap:  net.midCap,
+			denom:   net.denom,
+		}
+		final.srcCap[kill] = 0
+		final.sinkCap[shrink] = net.sinkCap[shrink] / 2
+		cr := NewRatGraph(final.vertices())
+		csrc, _ := final.buildRat(cr)
+		cr.MaxFlow(s, sink)
+		coldRat := new(big.Rat)
+		for k, id := range csrc {
+			if k != kill {
+				coldRat.Add(coldRat, cr.Flow(id))
+			}
+		}
+		cv, _ := coldRat.Float64()
+		if !Close(warmVal, cv, DiffTolerance) {
+			t.Fatalf("seed %d: warm-after-parallel %v vs exact cold %v (net %+v kill=%d shrink=%d)",
+				seed, warmVal, cv, net, kill, shrink)
+		}
+	}
+}
+
+// TestParallelPooledReuse solves on a pooled graph, releases it, and
+// re-acquires: leftover parallel scratch must never leak into the next
+// solve's answer.
+func TestParallelPooledReuse(t *testing.T) {
+	for i := 0; i < 6; i++ {
+		rng := rand.New(rand.NewSource(3000 + int64(i)))
+		net := randomNet(rng)
+		g := AcquireGraph(net.vertices())
+		net.buildFloat(g)
+		want := 0.0
+		{
+			ref := NewGraph(net.vertices())
+			net.buildFloat(ref)
+			want = ref.MaxFlow(0, net.sink())
+		}
+		got := g.MaxFlowParallel(0, net.sink(), 2+i%7)
+		if !Close(got, want, DiffTolerance) {
+			t.Fatalf("round %d: pooled parallel %v vs sequential %v", i, got, want)
+		}
+		ReleaseGraph(g)
+	}
+}
+
+// TestParallelRequiresFlowFree pins the precondition: solving on a graph
+// that already carries flow is an invariant violation, not a wrong
+// answer.
+func TestParallelRequiresFlowFree(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 2)
+	g.MaxFlow(0, 2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected InvariantViolation panic")
+		}
+		if _, ok := r.(*InvariantViolation); !ok {
+			t.Fatalf("expected *InvariantViolation, got %T: %v", r, r)
+		}
+	}()
+	g.MaxFlowParallel(0, 2, 2)
+}
+
+// TestParallelAfterResetFlow checks the supported way to re-solve: clear
+// the flow, solve again, same value.
+func TestParallelAfterResetFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4000))
+	net := randomNet(rng)
+	g := NewGraph(net.vertices())
+	net.buildFloat(g)
+	first := g.MaxFlowParallel(0, net.sink(), 4)
+	g.ResetFlow()
+	second := g.MaxFlowParallel(0, net.sink(), 4)
+	if !Close(first, second, DiffTolerance) {
+		t.Fatalf("re-solve after ResetFlow: %v then %v", first, second)
+	}
+}

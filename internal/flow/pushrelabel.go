@@ -31,10 +31,11 @@ type PRGraph struct {
 // observability layer and the E11 ablation. Counts accumulate across
 // MaxFlow calls on the same graph.
 type PROps struct {
-	Pushes     int64 // saturating and non-saturating pushes
-	Relabels   int64 // height increases
-	GapFirings int64 // gap-heuristic activations
-	Discharges int64 // vertices discharged off the FIFO queue
+	Pushes         int64 // saturating and non-saturating pushes
+	Relabels       int64 // height increases
+	GapFirings     int64 // gap-heuristic activations
+	Discharges     int64 // vertices discharged off the FIFO queue
+	GlobalRelabels int64 // exact-relabeling BFS passes
 }
 
 // Add accumulates o into p (for aggregating over many solves).
@@ -43,6 +44,7 @@ func (p *PROps) Add(o PROps) {
 	p.Relabels += o.Relabels
 	p.GapFirings += o.GapFirings
 	p.Discharges += o.Discharges
+	p.GlobalRelabels += o.GlobalRelabels
 }
 
 // Ops returns the operation counts accumulated by MaxFlow so far.
@@ -149,7 +151,7 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 	inQueue := make([]bool, n)
 	queue := make([]int, 0, n)
 
-	var pushes, relabels, gapFirings, discharges int64
+	var pushes, relabels, gapFirings, discharges, globalRelabels int64
 
 	push := func(v int, eid int32) {
 		pushes++
@@ -166,6 +168,73 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 		}
 	}
 
+	// globalRelabel replaces every height with an exact residual
+	// distance: dist-to-sink where the sink is still reachable, n +
+	// dist-to-source for vertices that can only return excess, 2n for
+	// vertices reaching neither. Each height only moves up (the max of
+	// two valid labelings is valid), which preserves the termination
+	// argument; the exact labels make subsequent pushes head straight
+	// for the sink instead of wandering. Same policy as the concurrent
+	// solver's stop-the-world pass, so the E11 ablation compares equal
+	// heuristics.
+	dist := make([]int, n)
+	bfsQueue := make([]int, 0, n)
+	reverseBFS := func(root int) {
+		for v := range dist {
+			dist[v] = -1
+		}
+		dist[root] = 0
+		bfsQueue = append(bfsQueue[:0], root)
+		for head := 0; head < len(bfsQueue); head++ {
+			cur := bfsQueue[head]
+			for i := g.adjOff[cur]; i < g.adjOff[cur+1]; i++ {
+				id := g.adjLst[i]
+				if g.edges[id^1].cap > tol {
+					u := int(g.edges[id].to)
+					if dist[u] < 0 {
+						dist[u] = dist[cur] + 1
+						bfsQueue = append(bfsQueue, u)
+					}
+				}
+			}
+		}
+	}
+	globalRelabel := func() {
+		globalRelabels++
+		reverseBFS(t)
+		for v := 0; v < n; v++ {
+			switch {
+			case v == s:
+				height[v] = n
+			case dist[v] >= 0:
+				if dist[v] > height[v] {
+					height[v] = dist[v]
+				}
+			default:
+				height[v] = -1 // resolved by the source pass below
+			}
+		}
+		reverseBFS(s)
+		for v := 0; v < n; v++ {
+			if height[v] >= 0 {
+				continue
+			}
+			if dist[v] >= 0 {
+				height[v] = n + dist[v]
+			} else {
+				height[v] = 2 * n
+			}
+		}
+		for h := range count {
+			count[h] = 0
+		}
+		for v := 0; v < n; v++ {
+			if height[v] < len(count) {
+				count[height[v]]++
+			}
+		}
+	}
+
 	// Initialize preflow.
 	height[s] = n
 	count[0] = n - 1
@@ -177,6 +246,12 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 			push(s, eid)
 		}
 	}
+	globalRelabel()
+	grEvery := int64(n)
+	if grEvery < 32 {
+		grEvery = 32
+	}
+	sinceGlobal := int64(0)
 
 	relabel := func(v int) {
 		minH := 2 * n
@@ -188,6 +263,7 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 		}
 		if minH < 2*n {
 			relabels++
+			sinceGlobal++
 			count[height[v]]--
 			// Gap heuristic: if v was the last vertex at its height and
 			// that height is below n, every vertex above the gap (and
@@ -235,12 +311,18 @@ func (g *PRGraph) MaxFlow(s, t int) float64 {
 	}
 
 	for len(queue) > 0 {
+		// Periodic exact relabeling, between discharges so a scan never
+		// sees heights move under it.
+		if sinceGlobal >= grEvery {
+			sinceGlobal = 0
+			globalRelabel()
+		}
 		v := queue[0]
 		queue = queue[1:]
 		inQueue[v] = false
 		discharges++
 		discharge(v)
 	}
-	g.ops.Add(PROps{Pushes: pushes, Relabels: relabels, GapFirings: gapFirings, Discharges: discharges})
+	g.ops.Add(PROps{Pushes: pushes, Relabels: relabels, GapFirings: gapFirings, Discharges: discharges, GlobalRelabels: globalRelabels})
 	return excess[t]
 }

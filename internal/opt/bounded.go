@@ -8,6 +8,7 @@ import (
 	"mpss/internal/job"
 	"mpss/internal/mpsserr"
 	"mpss/internal/obs"
+	"mpss/internal/pool"
 )
 
 // FeasibleAtSpeed reports whether the instance can be completed when every
@@ -25,14 +26,38 @@ func FeasibleAtSpeed(in *job.Instance, s float64) (bool, error) {
 // the recorder ("opt.feasibility_probes", plus the flow-solver op
 // counters). A nil recorder makes it identical to FeasibleAtSpeed.
 func FeasibleAtSpeedObserved(in *job.Instance, s float64, rec *obs.Recorder) (bool, error) {
-	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
-		return false, fmt.Errorf("opt: invalid speed cap %v: %w", s, mpsserr.ErrInvalidInstance)
-	}
 	if err := validateForSolve(in); err != nil {
 		return false, err
 	}
-	rec.Add("opt.feasibility_probes", 1)
+	return feasibleProbe(in, job.Partition(in.Jobs), s, rec)
+}
+
+// FeasibleAtSpeedBatch evaluates many candidate caps concurrently, each
+// probe on its own pooled graph, with up to workers goroutines (<= 0
+// selects GOMAXPROCS). The result slice is index-aligned with caps. One
+// interval partition is shared across all probes, so a k-probe batch
+// does strictly less setup work than k FeasibleAtSpeed calls.
+func FeasibleAtSpeedBatch(in *job.Instance, caps []float64, workers int, rec *obs.Recorder) ([]bool, error) {
+	if err := validateForSolve(in); err != nil {
+		return nil, err
+	}
+	if len(caps) == 0 {
+		return nil, nil
+	}
 	ivs := job.Partition(in.Jobs)
+	return pool.Map(len(caps), workers, func(i int) (bool, error) {
+		return feasibleProbe(in, ivs, caps[i], rec)
+	})
+}
+
+// feasibleProbe is one feasibility max-flow test at cap s on a pooled
+// graph. Safe for concurrent invocation (each call acquires its own
+// graph; the recorder is concurrency-safe).
+func feasibleProbe(in *job.Instance, ivs []job.Interval, s float64, rec *obs.Recorder) (bool, error) {
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return false, fmt.Errorf("opt: invalid speed cap %v: %w", s, mpsserr.ErrInvalidInstance)
+	}
+	rec.Add("opt.feasibility_probes", 1)
 
 	node := 1 + in.N()
 	ivNode := make([]int, len(ivs))
@@ -70,54 +95,208 @@ func FeasibleAtSpeedObserved(in *job.Instance, s float64, rec *obs.Recorder) (bo
 	return value >= demand-flow.SolveTolerance*math.Max(1, demand), nil
 }
 
+// CapOption configures MinFeasibleCap / MinFeasibleCapObserved.
+type CapOption func(*capConfig)
+
+type capConfig struct {
+	lo, hi      float64
+	haveBracket bool
+	probes      int
+}
+
+// WithBracket supplies a known bracket [lo, hi] with hi feasible and lo
+// infeasible (lo may be 0), skipping the solve that otherwise derives
+// the upper bound from the unbounded optimum's top phase speed.
+func WithBracket(lo, hi float64) CapOption {
+	return func(c *capConfig) { c.lo, c.hi, c.haveBracket = lo, hi, true }
+}
+
+// WithProbeParallelism evaluates k candidate caps per wave concurrently
+// (speculative k-section search): the bracket shrinks by a factor of
+// k+1 per wave instead of 2 per probe, at the price of probes whose
+// answers the wave outcome makes redundant. k <= 1 is plain bisection.
+func WithProbeParallelism(k int) CapOption {
+	return func(c *capConfig) { c.probes = k }
+}
+
 // MinFeasibleCap returns (a tight numerical approximation of) the
 // smallest processor speed cap at which the instance remains feasible —
 // the "minimum peak speed" of the instance. The value equals the highest
 // phase speed s_1 of the unbounded optimum, which provides the initial
-// bracket; the function then bisects FeasibleAtSpeed to within rel
-// relative tolerance (default flow.SolveTolerance when rel <= 0).
-func MinFeasibleCap(in *job.Instance, rel float64) (float64, error) {
-	return MinFeasibleCapObserved(in, rel, nil)
+// bracket; the function then shrinks the bracket with feasibility probes
+// to within rel relative tolerance (default flow.SolveTolerance when
+// rel <= 0).
+func MinFeasibleCap(in *job.Instance, rel float64, opts ...CapOption) (float64, error) {
+	return MinFeasibleCapObserved(in, rel, nil, opts...)
 }
 
-// MinFeasibleCapObserved is MinFeasibleCap with every bisection probe
-// counted in the recorder.
-func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder) (float64, error) {
+// MinFeasibleCapObserved is MinFeasibleCap with every probe counted in
+// the recorder ("opt.probe_waves" counts bracket-shrinking waves).
+func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder, opts ...CapOption) (float64, error) {
 	if rel <= 0 {
 		rel = flow.SolveTolerance
 	}
-	res, err := Schedule(in, WithRecorder(rec))
-	if err != nil {
+	var cfg capConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.probes < 1 {
+		cfg.probes = 1
+	}
+	if err := validateForSolve(in); err != nil {
 		return 0, err
 	}
-	hi := res.Phases[0].Speed * (1 + flow.SolveTolerance)
-	ok, err := FeasibleAtSpeedObserved(in, hi, rec)
-	if err != nil {
-		return 0, err
-	}
-	if !ok {
-		// The unbounded optimum's top speed must be feasible; tolerate
-		// rounding by nudging upward.
-		hi *= 1 + flow.DiffTolerance
-		if ok, err = FeasibleAtSpeedObserved(in, hi, rec); err != nil || !ok {
-			return 0, fmt.Errorf("opt: optimum speed %v not feasible as cap: %w", hi, mpsserr.ErrNumeric)
+
+	var lo, hi float64
+	if cfg.haveBracket {
+		if !(cfg.lo >= 0) || !(cfg.hi > cfg.lo) || math.IsInf(cfg.hi, 0) {
+			return 0, fmt.Errorf("opt: invalid bracket [%v, %v]: %w", cfg.lo, cfg.hi, mpsserr.ErrInvalidInstance)
 		}
-	}
-	lo := 0.0
-	for hi-lo > rel*hi {
-		mid := (lo + hi) / 2
-		if mid <= 0 {
-			break
-		}
-		ok, err := FeasibleAtSpeedObserved(in, mid, rec)
+		lo, hi = cfg.lo, cfg.hi
+		ok, err := FeasibleAtSpeedObserved(in, hi, rec)
 		if err != nil {
 			return 0, err
 		}
-		if ok {
-			hi = mid
+		if !ok {
+			return 0, fmt.Errorf("opt: bracket upper bound %v is not feasible: %w", hi, mpsserr.ErrInvalidInstance)
+		}
+	} else {
+		top, err := bracketSpeed(in, cfg.probes, rec)
+		if err != nil {
+			if !retryable(err) {
+				return 0, err
+			}
+			// The first-phase fast path failed numerically: fall back to
+			// the full solver, which brings its own fallback ladder.
+			rec.Add("opt.bracket_fallbacks", 1)
+			res, ferr := Schedule(in, WithRecorder(rec))
+			if ferr != nil {
+				return 0, ferr
+			}
+			top = res.Phases[0].Speed
+		}
+		hi = top * (1 + flow.SolveTolerance)
+		ok, err := FeasibleAtSpeedObserved(in, hi, rec)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			// The unbounded optimum's top speed must be feasible; tolerate
+			// rounding by nudging upward.
+			hi *= 1 + flow.DiffTolerance
+			if ok, err = FeasibleAtSpeedObserved(in, hi, rec); err != nil || !ok {
+				return 0, fmt.Errorf("opt: optimum speed %v not feasible as cap: %w", hi, mpsserr.ErrNumeric)
+			}
+		}
+		lo = 0
+	}
+
+	// Speculative k-section: each wave probes k interior caps at once
+	// (concurrently for k > 1) and keeps the leftmost feasible one as the
+	// new upper bound. Feasibility is monotone in the cap, so the
+	// infeasible probe just below it tightens the lower bound. k = 1 is
+	// classic bisection.
+	ivs := job.Partition(in.Jobs)
+	k := cfg.probes
+	speeds := make([]float64, k)
+	for hi-lo > rel*hi {
+		for i := 1; i <= k; i++ {
+			speeds[i-1] = lo + (hi-lo)*float64(i)/float64(k+1)
+		}
+		if speeds[0] <= 0 {
+			break
+		}
+		rec.Add("opt.probe_waves", 1)
+		var feas []bool
+		var err error
+		if k == 1 {
+			ok, perr := feasibleProbe(in, ivs, speeds[0], rec)
+			feas, err = []bool{ok}, perr
 		} else {
-			lo = mid
+			feas, err = pool.Map(k, k, func(i int) (bool, error) {
+				return feasibleProbe(in, ivs, speeds[i], rec)
+			})
+		}
+		if err != nil {
+			return 0, err
+		}
+		first := -1
+		for i, ok := range feas {
+			if ok {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
+			lo = speeds[k-1]
+		} else {
+			hi = speeds[first]
+			if first > 0 {
+				lo = speeds[first-1]
+			}
 		}
 	}
 	return hi, nil
+}
+
+// bracketSpeed computes the unbounded optimum's top phase speed s_1 —
+// the natural MinFeasibleCap bracket — by running only the *first* phase
+// of the offline algorithm on the float engine. The previous
+// implementation ran a full Schedule just to read Phases[0].Speed,
+// double-solving every later phase; this path stops at the first
+// acceptance and skips schedule emission entirely. Shares the solver
+// pool and panic-containment conventions of Solver.Schedule.
+func bracketSpeed(in *job.Instance, par int, rec *obs.Recorder) (top float64, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		rec.Add("opt.panics_recovered", 1)
+		if iv, ok := r.(*flow.InvariantViolation); ok && iv.Numeric {
+			err = fmt.Errorf("opt: bracket solve: %s: %w", iv.Msg, mpsserr.ErrNumeric)
+		} else {
+			err = fmt.Errorf("opt: bracket solve panic: %v: %w", r, mpsserr.ErrInternal)
+		}
+	}()
+	rec.Add("opt.bracket_solves", 1)
+
+	s := solverPool.Get()
+	defer solverPool.Put(s)
+	e := &s.fe
+	e.tol = flow.SolveTolerance
+	e.cold = false
+	e.par = par
+
+	ivs := job.Partition(in.Jobs)
+	used := make([]int, len(ivs))
+	cand := make([]int, in.N())
+	for i := range cand {
+		cand[i] = i
+	}
+	var st Stats
+	e.prepare(in, ivs, &st, rec)
+	span := rec.Root().StartSpan("bracket phase")
+	defer span.End()
+
+	degenerate := e.beginPhase(used, cand, span)
+	for {
+		rec.Add("opt.rounds", 1)
+		if degenerate {
+			var empty bool
+			degenerate, empty = e.dropLeastWork()
+			if empty {
+				return 0, e.emptyErr()
+			}
+			continue
+		}
+		if e.solveRound() {
+			return e.speed, nil
+		}
+		var empty bool
+		degenerate, empty = e.removeExcluded()
+		if empty {
+			return 0, e.emptyErr()
+		}
+	}
 }

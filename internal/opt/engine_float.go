@@ -3,6 +3,7 @@ package opt
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"mpss/internal/flow"
 	"mpss/internal/job"
@@ -30,11 +31,13 @@ import (
 type floatEngine struct {
 	tol  float64
 	cold bool
+	par  int // workers for cold solves above ParallelEdgeThreshold; <= 1 = sequential
 
-	in  *job.Instance
-	ivs []job.Interval
-	st  *Stats
-	rec *obs.Recorder
+	in        *job.Instance
+	ivs       []job.Interval
+	st        *Stats
+	rec       *obs.Recorder
+	solveHist *obs.Histogram // cached "opt.flow_solve_seconds" handle (nil = observability off)
 
 	ivLen  []float64 // |I_j| per interval
 	jobIvs [][]int32 // per instance job: indices of intervals it is active in
@@ -78,6 +81,9 @@ func (e *floatEngine) emptyErr() error {
 
 func (e *floatEngine) prepare(in *job.Instance, ivs []job.Interval, st *Stats, rec *obs.Recorder) {
 	e.in, e.ivs, e.st, e.rec = in, ivs, st, rec
+	// The histogram handle is cached once per solve: rec.Time allocates a
+	// closure per call, which the per-round profile showed as real.
+	e.solveHist = rec.Histogram("opt.flow_solve_seconds")
 	nIv := len(ivs)
 	e.ivLen = growFloats(e.ivLen, nIv)
 	for jx, iv := range ivs {
@@ -231,18 +237,42 @@ func (e *floatEngine) publish() {
 	e.prevOps = ops
 }
 
+// solveFlow runs one max-flow computation with the dispatch policy:
+// cold solves (freshly built network, zero flow) above the size
+// threshold go to the concurrent push-relabel engine when parallelism
+// was requested; everything else — small networks and every warm
+// re-augmentation — stays on sequential Dinic, whose incremental restart
+// is the fast path parallelism must not regress.
+func (e *floatEngine) solveFlow() {
+	var t0 time.Time
+	if e.solveHist != nil {
+		t0 = time.Now()
+	}
+	if e.par > 1 && !e.warmRound && e.g.EdgeCount() >= ParallelEdgeThreshold {
+		prev := e.g.ParOps()
+		e.g.MaxFlowParallel(0, e.sink, e.par)
+		if e.solveHist != nil {
+			e.solveHist.Observe(time.Since(t0).Seconds())
+		}
+		publishParallel(e.rec, e.span, e.g.ParOps().Sub(prev))
+		return
+	}
+	e.g.MaxFlow(0, e.sink)
+	if e.solveHist != nil {
+		e.solveHist.Observe(time.Since(t0).Seconds())
+	}
+	if e.warmRound {
+		e.rec.Add("flow.warm_hits", 1)
+	}
+	e.publish()
+}
+
 func (e *floatEngine) solveRound() bool {
 	if e.needBuild {
 		e.buildGraph()
 	}
-	stop := e.rec.Time("opt.flow_solve_seconds")
-	e.g.MaxFlow(0, e.sink)
-	stop()
-	if e.warmRound {
-		e.rec.Add("flow.warm_hits", 1)
-	}
+	e.solveFlow()
 	e.warmRound = true
-	e.publish()
 
 	var value float64
 	for pos := range e.cand0 {
@@ -348,9 +378,14 @@ func (e *floatEngine) accept() (float64, []int, map[int][]pieceTime) {
 		// search, so this reproduces the cold path's flow bit-exactly
 		// while still skipping the per-round rebuild-and-resolve work.
 		e.g.ResetFlow()
-		stop := e.rec.Time("opt.flow_solve_seconds")
+		var t0 time.Time
+		if e.solveHist != nil {
+			t0 = time.Now()
+		}
 		e.g.MaxFlow(0, e.sink)
-		stop()
+		if e.solveHist != nil {
+			e.solveHist.Observe(time.Since(t0).Seconds())
+		}
 		e.publish()
 	}
 	tkj := make(map[int][]pieceTime, e.aliveCount)

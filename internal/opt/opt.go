@@ -37,10 +37,11 @@
 package opt
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"mpss/internal/flow"
 	"mpss/internal/job"
@@ -80,6 +81,7 @@ type config struct {
 	exact bool
 	cold  bool
 	tol   float64
+	par   int
 	rec   *obs.Recorder
 	span  *obs.Span
 }
@@ -100,6 +102,28 @@ func ColdStart() Option { return func(c *config) { c.cold = true } }
 // (default flow.SolveTolerance).
 func WithTolerance(tol float64) Option {
 	return func(c *config) { c.tol = tol }
+}
+
+// ParallelEdgeThreshold is the network size (in forward edges) above
+// which a cold solve dispatches to the concurrent push-relabel engine
+// when WithParallelism is in effect. Below it the sequential Dinic
+// solver wins outright — goroutine startup and atomic traffic cost more
+// than the solve. Exposed as a variable so benchmarks and tests can move
+// the boundary.
+var ParallelEdgeThreshold = 4096
+
+// WithParallelism lets the float engine solve cold flow networks with n
+// concurrent workers (n <= 1 keeps everything sequential, the default).
+// Only from-zero solves on networks of at least ParallelEdgeThreshold
+// edges are dispatched to the concurrent engine; warm re-augmentations
+// stay on the sequential incremental path, which is already faster than
+// re-solving. The maximum-flow *value* — and therefore every phase
+// decision — is independent of n; the flow decomposition an accepted
+// phase emits may legitimately differ from the sequential one's (both
+// are optimal schedules). Runs that must be bit-reproducible against
+// the sequential solver should leave parallelism off.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.par = n }
 }
 
 // WithRecorder attaches an observability recorder: the solver records
@@ -173,6 +197,7 @@ func (s *Solver) Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 	}
 	s.fe.tol = cfg.tol
 	s.fe.cold = cfg.cold
+	s.fe.par = cfg.par
 	res, err := runPhases(in, &s.fe, cfg.rec, cfg.span)
 	if err == nil || !retryable(err) {
 		return res, err
@@ -394,8 +419,8 @@ func emitPhase(in *job.Instance, ivs []job.Interval, used, cand []int, speed flo
 		}
 		// tkj is a map, so piece order is otherwise nondeterministic;
 		// sort by job ID to make the solver's output reproducible.
-		sort.Slice(perIv[jx], func(a, b int) bool {
-			return perIv[jx][a].JobID < perIv[jx][b].JobID
+		slices.SortFunc(perIv[jx], func(a, b schedule.Piece) int {
+			return cmp.Compare(a.JobID, b.JobID)
 		})
 		procs := make([]int, mj[jx])
 		for i := range procs {
@@ -430,6 +455,24 @@ func publishDinic(rec *obs.Recorder, span *obs.Span, ops flow.DinicOps) {
 	span.Add("bfs_passes", ops.BFSPasses)
 	span.Add("aug_paths", ops.AugPaths)
 	span.Add("edges_scanned", ops.EdgesScanned)
+}
+
+// publishParallel folds one concurrent max-flow solve's operation
+// counts into the recorder and the enclosing phase span.
+func publishParallel(rec *obs.Recorder, span *obs.Span, ops flow.ParOps) {
+	if !rec.Enabled() && span == nil {
+		return
+	}
+	rec.Add("flow.parallel_solves", 1)
+	rec.Add("flow.global_relabels", ops.GlobalRelabels)
+	rec.Add("flow.steals", ops.Steals)
+	rec.Add("flow.par.pushes", ops.Pushes)
+	rec.Add("flow.par.relabels", ops.Relabels)
+	rec.Add("flow.par.discharges", ops.Discharges)
+	rec.Add("flow.par.gap_firings", ops.GapFirings)
+	span.Add("parallel_solves", 1)
+	span.Add("global_relabels", ops.GlobalRelabels)
+	span.Add("steals", ops.Steals)
 }
 
 // publishExact is publishDinic for the exact rational solver.

@@ -1,0 +1,205 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"mpss/internal/obs"
+	"mpss/internal/workload"
+)
+
+// TestParallelMatchesSequentialValues checks the dispatch policy's core
+// contract: WithParallelism changes which engine solves the cold flows,
+// never the computed speeds, phase structure or energy. The threshold is
+// lowered so small test instances actually cross it.
+func TestParallelMatchesSequentialValues(t *testing.T) {
+	old := ParallelEdgeThreshold
+	ParallelEdgeThreshold = 1
+	defer func() { ParallelEdgeThreshold = old }()
+
+	for seed := int64(0); seed < 8; seed++ {
+		in, err := workload.Uniform(workload.Spec{N: 24, M: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 8} {
+			rec := obs.New()
+			res, err := Schedule(in, WithParallelism(par), WithRecorder(rec))
+			if err != nil {
+				t.Fatalf("seed %d par %d: %v", seed, par, err)
+			}
+			if len(res.Phases) != len(ref.Phases) {
+				t.Fatalf("seed %d par %d: %d phases vs %d sequential",
+					seed, par, len(res.Phases), len(ref.Phases))
+			}
+			for i := range res.Phases {
+				if !closeRel(res.Phases[i].Speed, ref.Phases[i].Speed, 1e-9) {
+					t.Fatalf("seed %d par %d phase %d: speed %v vs %v",
+						seed, par, i, res.Phases[i].Speed, ref.Phases[i].Speed)
+				}
+				if len(res.Phases[i].JobIDs) != len(ref.Phases[i].JobIDs) {
+					t.Fatalf("seed %d par %d phase %d: job sets differ", seed, par, i)
+				}
+			}
+			if err := res.Schedule.Verify(in); err != nil {
+				t.Fatalf("seed %d par %d: infeasible schedule: %v", seed, par, err)
+			}
+			if rec.Value("flow.parallel_solves") == 0 {
+				t.Fatalf("seed %d par %d: no parallel solve dispatched below threshold %d",
+					seed, par, ParallelEdgeThreshold)
+			}
+		}
+	}
+}
+
+// TestParallelDispatchRespectsThreshold pins the policy boundary: with
+// the default threshold, small instances must never pay for goroutines.
+func TestParallelDispatchRespectsThreshold(t *testing.T) {
+	in, err := workload.Uniform(workload.Spec{N: 8, M: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	if _, err := Schedule(in, WithParallelism(8), WithRecorder(rec)); err != nil {
+		t.Fatal(err)
+	}
+	if n := rec.Value("flow.parallel_solves"); n != 0 {
+		t.Fatalf("tiny instance dispatched %d parallel solves", n)
+	}
+}
+
+// TestFeasibleAtSpeedBatch checks the batch probe against one-at-a-time
+// probes, sequentially and concurrently.
+func TestFeasibleAtSpeedBatch(t *testing.T) {
+	in, err := workload.Tight(workload.Spec{N: 12, M: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capv, err := MinFeasibleCap(in, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []float64{capv * 0.5, capv * 0.9, capv * 0.999, capv * 1.001, capv * 1.5, capv * 4}
+	want := make([]bool, len(caps))
+	for i, c := range caps {
+		if want[i], err = FeasibleAtSpeed(in, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := FeasibleAtSpeedBatch(in, caps, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range caps {
+			if got[i] != want[i] {
+				t.Fatalf("workers %d cap %v: batch %v, single %v", workers, caps[i], got[i], want[i])
+			}
+		}
+	}
+	// Invalid cap anywhere in the batch fails the whole call.
+	if _, err := FeasibleAtSpeedBatch(in, []float64{1, -1}, 2, nil); err == nil {
+		t.Fatal("negative cap accepted in batch")
+	}
+	// Empty batch is a no-op.
+	if got, err := FeasibleAtSpeedBatch(in, nil, 2, nil); err != nil || got != nil {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+// TestMinFeasibleCapKSection checks that speculative k-section search
+// lands on the same cap as bisection, for several probe widths.
+func TestMinFeasibleCapKSection(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		in, err := workload.Uniform(workload.Spec{N: 10, M: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := MinFeasibleCap(in, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 3, 8} {
+			rec := obs.New()
+			got, err := MinFeasibleCapObserved(in, 1e-9, rec, WithProbeParallelism(k))
+			if err != nil {
+				t.Fatalf("seed %d k %d: %v", seed, k, err)
+			}
+			if !closeRel(got, ref, 1e-7) {
+				t.Fatalf("seed %d k %d: %v vs bisection %v", seed, k, got, ref)
+			}
+			if rec.Value("opt.probe_waves") == 0 {
+				t.Fatalf("seed %d k %d: no probe waves counted", seed, k)
+			}
+		}
+	}
+}
+
+// TestMinFeasibleCapWithBracket checks the escape hatch: a supplied
+// bracket skips the schedule solve and still converges to the same cap.
+func TestMinFeasibleCapWithBracket(t *testing.T) {
+	in, err := workload.Uniform(workload.Spec{N: 10, M: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := MinFeasibleCap(in, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	got, err := MinFeasibleCapObserved(in, 1e-9, rec, WithBracket(0, ref*8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closeRel(got, ref, 1e-7) {
+		t.Fatalf("bracketed %v vs reference %v", got, ref)
+	}
+	if n := rec.Value("opt.bracket_solves"); n != 0 {
+		t.Fatalf("bracket given but %d bracket solves ran", n)
+	}
+	// An infeasible upper bound must be rejected, not searched.
+	if _, err := MinFeasibleCapObserved(in, 1e-9, nil, WithBracket(0, ref*0.1)); err == nil {
+		t.Fatal("infeasible bracket hi accepted")
+	}
+	// Malformed brackets are input errors.
+	for _, b := range [][2]float64{{-1, 2}, {2, 1}, {0, math.Inf(1)}} {
+		if _, err := MinFeasibleCapObserved(in, 1e-9, nil, WithBracket(b[0], b[1])); err == nil {
+			t.Fatalf("bracket %v accepted", b)
+		}
+	}
+}
+
+// TestBracketFastPathMatchesSchedule checks that the first-phase-only
+// bracket solve returns exactly the full solver's top phase speed.
+func TestBracketFastPathMatchesSchedule(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		in, err := workload.Uniform(workload.Spec{N: 12, M: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := obs.New()
+		top, err := bracketSpeed(in, 1, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top != res.Phases[0].Speed {
+			t.Fatalf("seed %d: bracket speed %v != Phases[0].Speed %v",
+				seed, top, res.Phases[0].Speed)
+		}
+		if rec.Value("opt.bracket_solves") != 1 {
+			t.Fatal("bracket solve not counted")
+		}
+	}
+}
+
+func closeRel(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}

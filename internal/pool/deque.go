@@ -1,0 +1,63 @@
+package pool
+
+import "sync"
+
+// Deque is a mutex-guarded work-stealing deque: the owning worker pushes
+// and pops at the tail (LIFO, keeping its working set hot in cache) while
+// thieves steal from the head (FIFO, taking the oldest — and on
+// push-relabel workloads typically largest — units of work). A single
+// mutex per deque is deliberate: the flow solver's unit of work (one
+// vertex discharge) is hundreds of edge scans, so contention on the
+// deque lock is negligible next to a lock-free Chase–Lev implementation,
+// and the simple version is trivially race-clean under `-race`.
+//
+// The zero value is an empty, ready-to-use deque.
+type Deque[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// Push appends v at the tail. Called by the owning worker.
+func (d *Deque[T]) Push(v T) {
+	d.mu.Lock()
+	d.items = append(d.items, v)
+	d.mu.Unlock()
+}
+
+// Pop removes and returns the tail item. Called by the owning worker.
+func (d *Deque[T]) Pop() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		var zero T
+		return zero, false
+	}
+	v := d.items[n-1]
+	var zero T
+	d.items[n-1] = zero // release references held by pointer-ish T
+	d.items = d.items[:n-1]
+	return v, true
+}
+
+// Steal removes and returns the head item. Called by other workers.
+func (d *Deque[T]) Steal() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := d.items[0]
+	var zero T
+	d.items[0] = zero
+	d.items = d.items[1:]
+	return v, true
+}
+
+// Len reports the current number of queued items.
+func (d *Deque[T]) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

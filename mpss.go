@@ -126,13 +126,37 @@ type Metrics = obs.Snapshot
 type SolveOption func(*solveConfig)
 
 type solveConfig struct {
-	rec *obs.Recorder
+	rec        *obs.Recorder
+	par        int
+	capLo      float64
+	capHi      float64
+	capBracket bool
 }
 
 // WithRecorder directs a solver run to record its metrics and phase
 // trace into r.
 func WithRecorder(r *Recorder) SolveOption {
 	return func(c *solveConfig) { c.rec = r }
+}
+
+// WithParallelism runs the solver's flow computations with up to n
+// concurrent workers (n <= 1, the default, keeps everything sequential
+// and bit-reproducible). OptimalSchedule dispatches large cold max-flow
+// solves to a concurrent push-relabel engine; MinFeasibleCap and
+// FeasibleAtSpeedBatch evaluate up to n feasibility probes
+// speculatively in parallel. The computed speeds, energy and
+// feasibility answers are independent of n; only the (non-unique)
+// work decomposition inside a phase may differ from a sequential run.
+func WithParallelism(n int) SolveOption {
+	return func(c *solveConfig) { c.par = n }
+}
+
+// WithBracket supplies MinFeasibleCap with a known search bracket
+// [lo, hi] — hi a feasible cap, lo an infeasible one (0 allowed) —
+// skipping the optimal-schedule solve that otherwise derives the upper
+// bound. Other entry points ignore it.
+func WithBracket(lo, hi float64) SolveOption {
+	return func(c *solveConfig) { c.capLo, c.capHi, c.capBracket = lo, hi, true }
 }
 
 func buildSolveConfig(opts []SolveOption) solveConfig {
@@ -167,7 +191,7 @@ func OptimalSchedule(in *Instance, opts ...SolveOption) (*OptimalResult, error) 
 		return nil, err
 	}
 	cfg := buildSolveConfig(opts)
-	return opt.Schedule(in, opt.WithRecorder(cfg.rec))
+	return opt.Schedule(in, opt.WithRecorder(cfg.rec), opt.WithParallelism(cfg.par))
 }
 
 // OptimalScheduleExact is OptimalSchedule with all phase decisions carried
@@ -304,10 +328,33 @@ func FeasibleAtSpeed(in *Instance, cap float64) (bool, error) {
 	return opt.FeasibleAtSpeed(in, cap)
 }
 
+// FeasibleAtSpeedBatch answers FeasibleAtSpeed for many candidate caps
+// at once, evaluating probes concurrently on pooled flow graphs when
+// WithParallelism(n > 1) is given. The result is index-aligned with
+// caps.
+func FeasibleAtSpeedBatch(in *Instance, caps []float64, opts ...SolveOption) ([]bool, error) {
+	cfg := buildSolveConfig(opts)
+	workers := cfg.par
+	if workers < 1 {
+		workers = 1
+	}
+	return opt.FeasibleAtSpeedBatch(in, caps, workers, cfg.rec)
+}
+
 // MinFeasibleCap returns the smallest processor speed cap at which the
-// instance remains feasible, to relative tolerance rel.
-func MinFeasibleCap(in *Instance, rel float64) (float64, error) {
-	return opt.MinFeasibleCap(in, rel)
+// instance remains feasible, to relative tolerance rel. With
+// WithParallelism(k > 1) each search wave probes k caps speculatively
+// in parallel; WithBracket skips the initial bracketing solve.
+func MinFeasibleCap(in *Instance, rel float64, opts ...SolveOption) (float64, error) {
+	cfg := buildSolveConfig(opts)
+	var capOpts []opt.CapOption
+	if cfg.par > 1 {
+		capOpts = append(capOpts, opt.WithProbeParallelism(cfg.par))
+	}
+	if cfg.capBracket {
+		capOpts = append(capOpts, opt.WithBracket(cfg.capLo, cfg.capHi))
+	}
+	return opt.MinFeasibleCapObserved(in, rel, cfg.rec, capOpts...)
 }
 
 // PotentialTracker evaluates the potential function of the paper's OA(m)
