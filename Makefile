@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke cli-smoke fuzz-smoke clean
+.PHONY: all build test vet race verify bench bench-smoke cli-smoke serve-smoke fuzz-smoke clean
 
 all: verify
 
@@ -18,19 +18,25 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/flow/...
+	$(GO) test -race ./internal/obs/... ./internal/flow/... ./internal/server/...
 
 # cli-smoke exercises every CLI end to end and fails when any tool exits
 # outside the documented {0,1,2} convention or prints a panic trace.
 cli-smoke:
 	sh scripts/cli_smoke.sh
 
+# serve-smoke boots the real mpss-served binary, drives the JSON API
+# (including the cache and the error mapping) and checks SIGTERM drains
+# to a clean exit 0.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
 # fuzz-smoke runs the solver-boundary fuzz harness briefly: enough to
 # catch a reintroduced panic path, cheap enough for every CI run.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolvePipeline -fuzztime 20s .
 
-verify: build vet test race cli-smoke
+verify: build vet test race cli-smoke serve-smoke
 
 # bench runs the solver benchmark family (warm incremental engine vs the
 # cold per-round-rebuild baseline) and archives the numbers — ns/op,

@@ -1,0 +1,97 @@
+// Command mpss-served runs the scheduling service: a long-lived HTTP
+// daemon exposing the paper's offline optimum, the OA/AVR online
+// simulations and the speed-bounded feasibility queries as a JSON API
+// (see internal/server for the endpoint list and DESIGN.md §10 for the
+// architecture).
+//
+// Usage:
+//
+//	mpss-served -addr :8080 -workers 4 -queue 128 -timeout 30s
+//	curl -s localhost:8080/v1/solve/optimal -d '{"m":2,"jobs":[{"id":1,"release":0,"deadline":4,"work":8}]}'
+//	curl -s localhost:8080/v1/metrics
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener stops
+// accepting, in-flight solves run to completion (bounded by
+// -drain-timeout), then the process exits 0. Exit codes follow the
+// repository convention: 0 clean shutdown, 1 runtime failure, 2 usage
+// error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpss/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "solver worker pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "admission queue depth (0 = default 64)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request solve deadline")
+		cache        = flag.Int("cache", 0, "result cache entries (0 = default 1024, negative disables)")
+		trace        = flag.Bool("trace", false, "record a span per request (bounded by the trace span limit)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mpss-served: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		CacheEntries:   *cache,
+		TraceRequests:  *trace,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpss-served:", err)
+		os.Exit(2)
+	}
+	// The "listening" line is the readiness signal scripts wait for
+	// (scripts/serve_smoke.sh greps it before issuing requests).
+	fmt.Fprintf(os.Stderr, "mpss-served: listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "mpss-served:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "mpss-served: %v, draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop the listener and wait for active handlers first, then drain
+	// the worker pool (handlers block on their workers, so by the time
+	// http shutdown returns, the queue is quiescing).
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "mpss-served: http shutdown:", err)
+		os.Exit(1)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mpss-served: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "mpss-served: drained, bye")
+}

@@ -28,6 +28,7 @@ func main() {
 		schedPath = flag.String("schedule", "", "schedule JSON file (required)")
 		alpha     = flag.Float64("alpha", 3, "power function exponent for energy reporting")
 		optimal   = flag.Bool("optimal", false, "also compare against the offline optimum")
+		cap       = flag.Float64("cap", 0, "also check the instance is feasible under this speed cap (0 = skip)")
 	)
 	flag.Parse()
 	if *instPath == "" || *schedPath == "" {
@@ -57,6 +58,22 @@ func main() {
 	m := sched.ComputeMetrics()
 	fmt.Printf("segments: %d  migrations: %d  preemptions: %d  utilization: %.3f\n",
 		m.Segments, m.Migrations, m.Preemptions, m.Utilization)
+
+	if *cap != 0 {
+		ok, err := mpss.FeasibleAtSpeed(in, *cap)
+		if err != nil {
+			if errors.Is(err, mpss.ErrInvalidInstance) {
+				fmt.Fprintln(os.Stderr, "mpss-verify:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintln(os.Stderr, "mpss-verify:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("feasible at cap %g: %v\n", *cap, ok)
+		if !ok {
+			os.Exit(1)
+		}
+	}
 
 	if *optimal {
 		res, err := mpss.OptimalSchedule(in)

@@ -29,6 +29,13 @@ var (
 	// guarantees was observed to fail, or a panic escaped an internal
 	// layer and was contained at the solver boundary. Worth reporting.
 	ErrInternal = mpsserr.ErrInternal
+
+	// ErrCanceled marks a solve abandoned because the context given via
+	// WithContext was canceled or its deadline expired mid-solve. The
+	// solver unwinds at the next phase/round or probe-wave boundary; a
+	// Solver session that had a call canceled stays valid for further
+	// calls. CLIs map it to exit code 1.
+	ErrCanceled = mpsserr.ErrCanceled
 )
 
 // ValidateInstance checks an instance against the strict input contract:

@@ -1,6 +1,8 @@
 package mpss_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"mpss"
@@ -60,6 +62,37 @@ func ExampleAVR() {
 	fmt.Printf("dedicated: %v, pool speed: %.1f\n", lv.Dedicated, lv.PoolSpeed)
 	// Output:
 	// dedicated: [1], pool speed: 1.5
+}
+
+// A Solver session keeps its flow-network arenas warm across calls —
+// the right shape for servers and batch loops. Results are bit-identical
+// to the package-level one-shot functions.
+func ExampleNewSolver() {
+	s := mpss.NewSolver()
+	jobs := []mpss.Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 8},
+		{ID: 2, Release: 1, Deadline: 5, Work: 2},
+	}
+	in, _ := mpss.NewInstance(2, jobs)
+	res, _ := s.Solve(in)
+	cap, _ := s.MinFeasibleCap(in, 1e-9)
+	fmt.Printf("energy: %.2f\n", res.Schedule.Energy(mpss.MustAlpha(3)))
+	fmt.Printf("min cap: %.2f\n", cap)
+	// Output:
+	// energy: 32.50
+	// min cap: 2.00
+}
+
+// WithContext threads a context into a solve; cancellation or deadline
+// expiry unwinds at the next phase/round boundary with ErrCanceled.
+func ExampleWithContext() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before solving: the solve aborts at its first round
+	in, _ := mpss.NewInstance(1, []mpss.Job{{ID: 1, Release: 0, Deadline: 2, Work: 3}})
+	_, err := mpss.OptimalSchedule(in, mpss.WithContext(ctx))
+	fmt.Println(errors.Is(err, mpss.ErrCanceled))
+	// Output:
+	// true
 }
 
 // The incremental Planner is the push-style form of OA(m).

@@ -21,6 +21,11 @@
 //   - ErrInternal: a solver invariant that should hold for every input
 //     was violated (a contained panic). Always a bug; the error text
 //     carries the phase/round context for the report.
+//   - ErrCanceled: the caller's context was canceled (or its deadline
+//     expired) while the solve was in flight. The solver noticed at the
+//     next phase/round or probe-wave boundary and unwound cleanly; the
+//     solver arena stays reusable. Not retried by the fallback ladder —
+//     a canceled caller does not want the answer anymore.
 package mpsserr
 
 import "errors"
@@ -35,4 +40,7 @@ var (
 	ErrNumeric = errors.New("mpss: numeric failure")
 	// ErrInternal marks contained solver-invariant violations (bugs).
 	ErrInternal = errors.New("mpss: internal solver error")
+	// ErrCanceled marks solves abandoned because the caller's context was
+	// canceled or timed out mid-solve.
+	ErrCanceled = errors.New("mpss: solve canceled")
 )

@@ -115,9 +115,15 @@ type Span struct {
 	children []*Span
 }
 
-// StartSpan opens a child span under s.
+// StartSpan opens a child span under s. When the recorder's trace cap
+// (LimitTrace) is exhausted it returns nil — a no-op span — so
+// long-running processes can keep counters and histograms without the
+// trace tree growing unboundedly.
 func (s *Span) StartSpan(name string) *Span {
 	if s == nil {
+		return nil
+	}
+	if s.rec != nil && !s.rec.spanBudget() {
 		return nil
 	}
 	child := &Span{rec: s.rec, name: name, start: time.Now()}
@@ -187,6 +193,9 @@ func (s *Span) End() {
 type Recorder struct {
 	start time.Time
 
+	spanCap   atomic.Int64 // 0 = unlimited
+	spanCount atomic.Int64
+
 	mu       sync.Mutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
@@ -207,6 +216,33 @@ func New() *Recorder {
 
 // Enabled reports whether the recorder actually records (false for nil).
 func (r *Recorder) Enabled() bool { return r != nil }
+
+// LimitTrace caps the total number of spans the recorder will record;
+// once n spans have been started, further StartSpan calls return nil
+// (the no-op span) and are tallied in the "obs.spans_dropped" counter.
+// Counters and histograms are unaffected. Long-running processes (the
+// scheduling daemon) use this to keep per-solve tracing from growing
+// without bound; n <= 0 restores the unlimited default.
+func (r *Recorder) LimitTrace(n int) {
+	if r == nil {
+		return
+	}
+	r.spanCap.Store(int64(n))
+}
+
+// spanBudget consumes one unit of the trace cap, reporting false (and
+// counting the drop) once the cap is exhausted.
+func (r *Recorder) spanBudget() bool {
+	cap := r.spanCap.Load()
+	if cap <= 0 {
+		return true
+	}
+	if r.spanCount.Add(1) > cap {
+		r.Add("obs.spans_dropped", 1)
+		return false
+	}
+	return true
+}
 
 // Counter returns the named counter, creating it on first use. On a nil
 // recorder it returns a nil handle whose methods are no-ops.

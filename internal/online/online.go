@@ -24,6 +24,7 @@
 package online
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -42,7 +43,9 @@ import (
 type Option func(*config)
 
 type config struct {
-	rec *obs.Recorder
+	rec    *obs.Recorder
+	ctx    context.Context
+	solver *opt.Solver
 }
 
 // WithRecorder attaches an observability recorder: OA(m) and AVR(m)
@@ -52,6 +55,34 @@ type config struct {
 // the no-op default.
 func WithRecorder(r *obs.Recorder) Option {
 	return func(c *config) { c.rec = r }
+}
+
+// WithContext makes the simulation cancelable: OA polls ctx at every
+// arrival event (each event is one offline replan, the expensive
+// quantum, and the replan itself inherits ctx), AVR at every event
+// interval. A canceled context surfaces as an error wrapping
+// mpsserr.ErrCanceled. Nil disables the checks (the default).
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
+}
+
+// WithSolver lends OA(m) a caller-owned solver arena for its replans
+// instead of a run-local one, so a long-lived session (e.g. one server
+// worker) reuses its flow-network allocations across simulations. The
+// solver must not be used concurrently elsewhere.
+func WithSolver(s *opt.Solver) Option {
+	return func(c *config) { c.solver = s }
+}
+
+// canceledAt converts a non-nil ctx error into the typed error.
+func canceledAt(ctx context.Context, alg string, t float64) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("online: %s canceled at t=%g: %v: %w", alg, t, err, mpsserr.ErrCanceled)
+	}
+	return nil
 }
 
 func buildConfig(opts []Option) config {
@@ -126,10 +157,18 @@ func OA(in *job.Instance, opts ...Option) (*OAResult, error) {
 	_, horizon := in.Horizon()
 
 	// One solver arena for the whole arrival sequence: each replan reuses
-	// the previous event's flow-network allocations.
-	solver := opt.NewSolver()
+	// the previous event's flow-network allocations. A session caller may
+	// lend its own (WithSolver) to keep the arena warm across runs.
+	solver := cfg.solver
+	if solver == nil {
+		solver = opt.NewSolver()
+	}
 
 	for ei, t0 := range events {
+		if cerr := canceledAt(cfg.ctx, "OA", t0); cerr != nil {
+			rec.Add("oa.canceled", 1)
+			return nil, cerr
+		}
 		// Live jobs: released, unfinished, deadline not passed.
 		var live []job.Job
 		for _, j := range in.Jobs {
@@ -153,7 +192,7 @@ func OA(in *job.Instance, opts ...Option) (*OAResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("online: OA replan at %g: %w", t0, err)
 		}
-		plan, err := solver.Schedule(sub, opt.WithRecorder(rec), opt.UnderSpan(ev))
+		plan, err := solver.Schedule(sub, opt.WithRecorder(rec), opt.UnderSpan(ev), opt.WithContext(cfg.ctx))
 		if err != nil {
 			return nil, fmt.Errorf("online: OA replan at %g: %w", t0, err)
 		}
@@ -238,6 +277,10 @@ func AVR(in *job.Instance, opts ...Option) (*AVRResult, error) {
 	res := &AVRResult{Schedule: schedule.New(in.M)}
 
 	for _, iv := range ivs {
+		if cerr := canceledAt(cfg.ctx, "AVR", iv.Start); cerr != nil {
+			rec.Add("avr.canceled", 1)
+			return nil, cerr
+		}
 		var active []job.Job
 		for _, j := range in.Jobs {
 			if j.ActiveIn(iv.Start, iv.End) {

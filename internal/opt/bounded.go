@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,8 +27,17 @@ func FeasibleAtSpeed(in *job.Instance, s float64) (bool, error) {
 // the recorder ("opt.feasibility_probes", plus the flow-solver op
 // counters). A nil recorder makes it identical to FeasibleAtSpeed.
 func FeasibleAtSpeedObserved(in *job.Instance, s float64, rec *obs.Recorder) (bool, error) {
+	return FeasibleAtSpeedCtx(nil, in, s, rec)
+}
+
+// FeasibleAtSpeedCtx is FeasibleAtSpeedObserved with a cancellation
+// context checked before the flow solve (nil disables the check).
+func FeasibleAtSpeedCtx(ctx context.Context, in *job.Instance, s float64, rec *obs.Recorder) (bool, error) {
 	if err := validateForSolve(in); err != nil {
 		return false, err
+	}
+	if cerr := canceled(ctx, 0, 0); cerr != nil {
+		return false, cerr
 	}
 	return feasibleProbe(in, job.Partition(in.Jobs), s, rec)
 }
@@ -38,6 +48,12 @@ func FeasibleAtSpeedObserved(in *job.Instance, s float64, rec *obs.Recorder) (bo
 // interval partition is shared across all probes, so a k-probe batch
 // does strictly less setup work than k FeasibleAtSpeed calls.
 func FeasibleAtSpeedBatch(in *job.Instance, caps []float64, workers int, rec *obs.Recorder) ([]bool, error) {
+	return FeasibleAtSpeedBatchCtx(nil, in, caps, workers, rec)
+}
+
+// FeasibleAtSpeedBatchCtx is FeasibleAtSpeedBatch with a cancellation
+// context checked before each probe (nil disables the checks).
+func FeasibleAtSpeedBatchCtx(ctx context.Context, in *job.Instance, caps []float64, workers int, rec *obs.Recorder) ([]bool, error) {
 	if err := validateForSolve(in); err != nil {
 		return nil, err
 	}
@@ -46,6 +62,9 @@ func FeasibleAtSpeedBatch(in *job.Instance, caps []float64, workers int, rec *ob
 	}
 	ivs := job.Partition(in.Jobs)
 	return pool.Map(len(caps), workers, func(i int) (bool, error) {
+		if cerr := canceled(ctx, 0, i); cerr != nil {
+			return false, cerr
+		}
 		return feasibleProbe(in, ivs, caps[i], rec)
 	})
 }
@@ -102,6 +121,7 @@ type capConfig struct {
 	lo, hi      float64
 	haveBracket bool
 	probes      int
+	ctx         context.Context
 }
 
 // WithBracket supplies a known bracket [lo, hi] with hi feasible and lo
@@ -117,6 +137,14 @@ func WithBracket(lo, hi float64) CapOption {
 // answers the wave outcome makes redundant. k <= 1 is plain bisection.
 func WithProbeParallelism(k int) CapOption {
 	return func(c *capConfig) { c.probes = k }
+}
+
+// WithCapContext makes the cap search cancelable: ctx is polled before
+// the bracketing solve and between probe waves, and a canceled context
+// returns an error wrapping mpsserr.ErrCanceled. Nil disables the
+// checks (the default).
+func WithCapContext(ctx context.Context) CapOption {
+	return func(c *capConfig) { c.ctx = ctx }
 }
 
 // MinFeasibleCap returns (a tight numerical approximation of) the
@@ -161,7 +189,7 @@ func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder, op
 			return 0, fmt.Errorf("opt: bracket upper bound %v is not feasible: %w", hi, mpsserr.ErrInvalidInstance)
 		}
 	} else {
-		top, err := bracketSpeed(in, cfg.probes, rec)
+		top, err := bracketSpeed(cfg.ctx, in, cfg.probes, rec)
 		if err != nil {
 			if !retryable(err) {
 				return 0, err
@@ -169,7 +197,7 @@ func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder, op
 			// The first-phase fast path failed numerically: fall back to
 			// the full solver, which brings its own fallback ladder.
 			rec.Add("opt.bracket_fallbacks", 1)
-			res, ferr := Schedule(in, WithRecorder(rec))
+			res, ferr := Schedule(in, WithRecorder(rec), WithContext(cfg.ctx))
 			if ferr != nil {
 				return 0, ferr
 			}
@@ -200,6 +228,10 @@ func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder, op
 	k := cfg.probes
 	speeds := make([]float64, k)
 	for hi-lo > rel*hi {
+		if cerr := canceled(cfg.ctx, 0, 0); cerr != nil {
+			rec.Add("opt.canceled", 1)
+			return 0, cerr
+		}
 		for i := 1; i <= k; i++ {
 			speeds[i-1] = lo + (hi-lo)*float64(i)/float64(k+1)
 		}
@@ -246,7 +278,7 @@ func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder, op
 // double-solving every later phase; this path stops at the first
 // acceptance and skips schedule emission entirely. Shares the solver
 // pool and panic-containment conventions of Solver.Schedule.
-func bracketSpeed(in *job.Instance, par int, rec *obs.Recorder) (top float64, err error) {
+func bracketSpeed(ctx context.Context, in *job.Instance, par int, rec *obs.Recorder) (top float64, err error) {
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -281,6 +313,10 @@ func bracketSpeed(in *job.Instance, par int, rec *obs.Recorder) (top float64, er
 
 	degenerate := e.beginPhase(used, cand, span)
 	for {
+		if cerr := canceled(ctx, 1, 0); cerr != nil {
+			rec.Add("opt.canceled", 1)
+			return 0, cerr
+		}
 		rec.Add("opt.rounds", 1)
 		if degenerate {
 			var empty bool

@@ -38,6 +38,7 @@ package opt
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -84,6 +85,7 @@ type config struct {
 	par   int
 	rec   *obs.Recorder
 	span  *obs.Span
+	ctx   context.Context
 }
 
 // Exact switches the phase decisions to exact math/big.Rat arithmetic.
@@ -141,6 +143,28 @@ func UnderSpan(s *obs.Span) Option {
 	return func(c *config) { c.span = s }
 }
 
+// WithContext makes the solve cancelable: ctx is polled at every
+// phase/round boundary of the driver loop, and a canceled or expired
+// context unwinds the solve promptly with an error wrapping
+// mpsserr.ErrCanceled. The solver arena is left in a reusable state — a
+// later Schedule call on the same Solver starts fresh. A nil ctx (the
+// default) disables the checks entirely.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
+}
+
+// canceled converts a non-nil ctx error into the typed solver error,
+// annotated with the phase/round position the solve had reached.
+func canceled(ctx context.Context, phase, round int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("opt: solve canceled (phase %d, round %d): %v: %w", phase, round, err, mpsserr.ErrCanceled)
+	}
+	return nil
+}
+
 // Solver is a reusable solver arena: the flow graphs, the job×interval
 // activity index and all round bookkeeping live in the Solver and are
 // recycled across Schedule calls, so steady-state solving does not
@@ -193,12 +217,12 @@ func (s *Solver) Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 	}
 	if cfg.exact {
 		s.ee.cold = cfg.cold
-		return runPhases(in, &s.ee, cfg.rec, cfg.span)
+		return runPhases(cfg.ctx, in, &s.ee, cfg.rec, cfg.span)
 	}
 	s.fe.tol = cfg.tol
 	s.fe.cold = cfg.cold
 	s.fe.par = cfg.par
-	res, err := runPhases(in, &s.fe, cfg.rec, cfg.span)
+	res, err := runPhases(cfg.ctx, in, &s.fe, cfg.rec, cfg.span)
 	if err == nil || !retryable(err) {
 		return res, err
 	}
@@ -206,7 +230,7 @@ func (s *Solver) Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 	if !cfg.cold {
 		cfg.rec.Add("opt.fallback_cold", 1)
 		s.fe.cold = true
-		res, err = runPhases(in, &s.fe, cfg.rec, cfg.span)
+		res, err = runPhases(cfg.ctx, in, &s.fe, cfg.rec, cfg.span)
 		s.fe.cold = false
 		if err == nil {
 			return res, nil
@@ -217,7 +241,7 @@ func (s *Solver) Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 	}
 	cfg.rec.Add("opt.fallback_exact", 1)
 	s.ee.cold = false
-	res, err = runPhases(in, &s.ee, cfg.rec, cfg.span)
+	res, err = runPhases(cfg.ctx, in, &s.ee, cfg.rec, cfg.span)
 	if err != nil {
 		return nil, fmt.Errorf("opt: exact fallback also failed: %w (float path: %v)", err, floatErr)
 	}
@@ -302,7 +326,13 @@ var testHookRound func(exact bool)
 // ErrNumeric (the fallback ladder retries those), everything else
 // becomes ErrInternal — annotated with the phase/round position the
 // solver had reached, mirroring the span trace internal/obs records.
-func runPhases(in *job.Instance, eng phaseEngine, rec *obs.Recorder, parent *obs.Span) (res *Result, err error) {
+//
+// It is also the cancellation boundary: a non-nil ctx is polled once
+// per round (each round is one max-flow solve, the natural quantum),
+// and a canceled context unwinds with ErrCanceled before the next
+// solve starts. Mid-round state never leaks: every later Schedule call
+// rebuilds the per-phase engine state from scratch in beginPhase.
+func runPhases(ctx context.Context, in *job.Instance, eng phaseEngine, rec *obs.Recorder, parent *obs.Span) (res *Result, err error) {
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -337,6 +367,11 @@ func runPhases(in *job.Instance, eng phaseEngine, rec *obs.Recorder, parent *obs
 		span.Add("candidates", int64(len(remaining)))
 		degenerate := eng.beginPhase(used, remaining, span)
 		for {
+			if cerr := canceled(ctx, len(res.Phases)+1, res.Stats.Rounds); cerr != nil {
+				rec.Add("opt.canceled", 1)
+				span.End()
+				return nil, cerr
+			}
 			res.Stats.Rounds++
 			rec.Add("opt.rounds", 1)
 			if degenerate {

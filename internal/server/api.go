@@ -1,0 +1,153 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mpss"
+)
+
+// SolveRequest is the JSON body shared by every POST endpoint: the
+// instance in the same shape the CLIs read ({"m": ..., "jobs": [...]})
+// plus endpoint-specific knobs. Unknown fields are ignored, so a client
+// may reuse one request struct across endpoints.
+type SolveRequest struct {
+	M    int        `json:"m"`
+	Jobs []mpss.Job `json:"jobs"`
+
+	// Alpha is the power-function exponent used to *report* energy
+	// (P(s) = s^alpha, default 3). The optimal schedule itself does not
+	// depend on it.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Exact switches /v1/solve/optimal to exact rational arithmetic.
+	Exact bool `json:"exact,omitempty"`
+	// Cap is the speed cap probed by /v1/feasible.
+	Cap float64 `json:"cap,omitempty"`
+	// Rel is the relative tolerance of /v1/mincap (0 = solver default).
+	Rel float64 `json:"rel,omitempty"`
+	// TimeoutMS overrides the server's per-request solve deadline in
+	// milliseconds (capped at the server default; 0 = use the default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// PhaseResponse is one speed level of an optimal schedule.
+type PhaseResponse struct {
+	Speed  float64 `json:"speed"`
+	JobIDs []int   `json:"job_ids"`
+	Procs  []int   `json:"procs"`
+}
+
+// OptimalResponse is the body of a successful /v1/solve/optimal call.
+type OptimalResponse struct {
+	Energy   float64         `json:"energy"`
+	Alpha    float64         `json:"alpha"`
+	Phases   []PhaseResponse `json:"phases"`
+	Rounds   int             `json:"rounds"`
+	Schedule *mpss.Schedule  `json:"schedule"`
+}
+
+// OnlineResponse is the body of a successful /v1/solve/oa or
+// /v1/solve/avr call. Bound is the algorithm's proven competitive
+// ratio at the reporting alpha.
+type OnlineResponse struct {
+	Energy   float64        `json:"energy"`
+	Alpha    float64        `json:"alpha"`
+	Bound    float64        `json:"bound"`
+	Replans  int            `json:"replans,omitempty"`
+	Schedule *mpss.Schedule `json:"schedule"`
+}
+
+// AtCapResponse is the body of a successful /v1/solve/atcap call.
+type AtCapResponse struct {
+	Energy   float64        `json:"energy"`
+	Alpha    float64        `json:"alpha"`
+	Cap      float64        `json:"cap"`
+	Schedule *mpss.Schedule `json:"schedule"`
+}
+
+// FeasibleResponse is the body of a successful /v1/feasible call.
+type FeasibleResponse struct {
+	Cap      float64 `json:"cap"`
+	Feasible bool    `json:"feasible"`
+}
+
+// MinCapResponse is the body of a successful /v1/mincap call.
+type MinCapResponse struct {
+	Cap float64 `json:"cap"`
+}
+
+// HealthResponse is the body of /v1/healthz.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok" or "draining"
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// StatusClientClosedRequest is the (nginx-convention) status the server
+// records when the client went away mid-solve; the client never sees
+// it, but it keeps the canceled case distinct from 504 in logs/tests.
+const StatusClientClosedRequest = 499
+
+// errToStatus maps the library's typed error taxonomy onto HTTP status
+// codes: malformed input 400, well-formed but unsatisfiable 422,
+// canceled/timed-out solves 504 (or 499 when the client itself hung
+// up), everything else — numeric exhaustion, contained solver bugs —
+// 500.
+func errToStatus(err error, clientGone bool) (int, string) {
+	switch {
+	case errors.Is(err, mpss.ErrInvalidInstance):
+		return http.StatusBadRequest, "invalid_instance"
+	case errors.Is(err, mpss.ErrInfeasible):
+		return http.StatusUnprocessableEntity, "infeasible"
+	case errors.Is(err, mpss.ErrCanceled):
+		if clientGone {
+			return StatusClientClosedRequest, "canceled"
+		}
+		return http.StatusGatewayTimeout, "canceled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// response is a fully rendered HTTP answer: what the worker produces,
+// what the cache stores.
+type response struct {
+	code int
+	body []byte
+}
+
+// jsonResponse marshals v; a marshal failure (cannot happen for the
+// response types above) degrades to a 500.
+func jsonResponse(code int, v any) response {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return errorResponse(http.StatusInternalServerError, "internal", fmt.Sprintf("encoding response: %v", err))
+	}
+	return response{code: code, body: body}
+}
+
+// errorResponse renders the uniform error body.
+func errorResponse(code int, kind, msg string) response {
+	return jsonResponse(code, ErrorResponse{Error: msg, Kind: kind})
+}
+
+// cacheable reports whether a response may be served from the result
+// cache: successful solves and deterministic domain rejections. 400s
+// are cheap to recompute and 5xx/504 must never be replayed.
+func (r response) cacheable() bool {
+	return r.code == http.StatusOK || r.code == http.StatusUnprocessableEntity
+}
+
+// write sends the response. The JSON content type matches every body
+// this server produces.
+func (r response) write(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(r.code)
+	w.Write(r.body)
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU of rendered responses keyed by canonical
+// request hash. The solver is bit-deterministic, so replaying a cached
+// body is indistinguishable from re-solving — the property the
+// cache-determinism end-to-end test pins. Safe for concurrent use.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp response
+}
+
+// newResultCache returns a cache holding at most max entries; max <= 0
+// disables caching (Get always misses, Put drops).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached response for key, marking it most recently
+// used.
+func (c *resultCache) Get(key string) (response, bool) {
+	if c.max <= 0 {
+		return response{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return response{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// Put stores a response, evicting the least recently used entry when
+// full. Storing an existing key refreshes its value and recency.
+func (c *resultCache) Put(key string, resp response) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.order.Len() > c.max {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.entries, el.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+
+	"mpss"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(3)
+	put := func(k string, code int) { c.Put(k, response{code: code, body: []byte(k)}) }
+	put("a", 200)
+	put("b", 200)
+	put("c", 200)
+
+	// Touch "a" so "b" is the least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	put("d", 200)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; want LRU evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted; want retained", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("len %d, want 3", c.Len())
+	}
+}
+
+func TestCacheRefreshSameKey(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("k", response{code: 200, body: []byte("v1")})
+	c.Put("k", response{code: 200, body: []byte("v2")})
+	if c.Len() != 1 {
+		t.Fatalf("len %d after double put, want 1", c.Len())
+	}
+	got, ok := c.Get("k")
+	if !ok || string(got.body) != "v2" {
+		t.Errorf("got %q, want v2", got.body)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		c := newResultCache(n)
+		c.Put("k", response{code: 200})
+		if _, ok := c.Get("k"); ok {
+			t.Errorf("newResultCache(%d) stored an entry; want disabled", n)
+		}
+	}
+}
+
+func TestRequestKeyDistinguishesRequests(t *testing.T) {
+	base := SolveRequest{M: 2, Jobs: testJobs(), Alpha: 3}
+	keys := map[string]string{}
+	add := func(label, key string) {
+		if prev, dup := keys[key]; dup {
+			t.Errorf("%s collides with %s", label, prev)
+		}
+		keys[key] = label
+	}
+	add("base", requestKey("optimal", &base))
+
+	kind := requestKey("oa", &base)
+	add("kind", kind)
+
+	exact := base
+	exact.Exact = true
+	add("exact", requestKey("optimal", &exact))
+
+	capped := base
+	capped.Cap = 1.5
+	add("cap", requestKey("optimal", &capped))
+
+	work := base
+	work.Jobs = append([]mpss.Job(nil), base.Jobs...)
+	work.Jobs[0].Work = 9
+	add("work", requestKey("optimal", &work))
+
+	order := base
+	order.Jobs = []mpss.Job{base.Jobs[1], base.Jobs[0]}
+	add("order", requestKey("optimal", &order))
+
+	// Same content must produce the same key.
+	same := SolveRequest{M: 2, Jobs: testJobs(), Alpha: 3}
+	if requestKey("optimal", &base) != requestKey("optimal", &same) {
+		t.Error("identical requests hashed differently")
+	}
+	// timeout_ms is a transport knob, not part of the instance.
+	timed := base
+	timed.TimeoutMS = 50
+	if requestKey("optimal", &base) != requestKey("optimal", &timed) {
+		t.Error("timeout_ms changed the cache key; want ignored")
+	}
+}
+
+func testJobs() []mpss.Job {
+	return []mpss.Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 8},
+		{ID: 2, Release: 1, Deadline: 5, Work: 2},
+	}
+}
+
+func BenchmarkRequestKey(b *testing.B) {
+	jobs := make([]mpss.Job, 64)
+	for i := range jobs {
+		jobs[i] = mpss.Job{ID: i + 1, Release: float64(i), Deadline: float64(i + 4), Work: 2}
+	}
+	req := SolveRequest{M: 4, Jobs: jobs, Alpha: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if requestKey("optimal", &req) == "" {
+			b.Fatal(fmt.Errorf("empty key"))
+		}
+	}
+}

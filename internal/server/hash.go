@@ -1,0 +1,45 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// requestKey computes the canonical cache key of a solve request: a
+// sha256 over the endpoint kind, the solve parameters and the instance.
+// Jobs are hashed in the order given — the solver's output (though not
+// its optimality) depends on input order, so two permutations of the
+// same job set are distinct requests. Float fields are hashed by their
+// IEEE-754 bits: the solver is bit-deterministic, so bit-equal inputs
+// are exactly the requests with bit-equal responses.
+func requestKey(kind string, req *SolveRequest) string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	u64(uint64(req.M))
+	f64(req.Alpha)
+	if req.Exact {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	f64(req.Cap)
+	f64(req.Rel)
+	u64(uint64(len(req.Jobs)))
+	for _, j := range req.Jobs {
+		u64(uint64(j.ID))
+		f64(j.Release)
+		f64(j.Deadline)
+		f64(j.Work)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

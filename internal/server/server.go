@@ -1,0 +1,449 @@
+// Package server turns the mpss library into a long-running scheduling
+// service: an HTTP/JSON API over the paper's offline optimum, the OA and
+// AVR online simulations, and the speed-bounded feasibility/min-cap
+// queries.
+//
+// Architecture (DESIGN.md §10): requests pass an admission layer (a
+// bounded queue; overflow is rejected with 503 instead of queuing
+// unboundedly), then execute on a fixed pool of workers, each owning a
+// persistent mpss.Solver session whose flow-network arenas are reused
+// across requests. A canonical-instance-hash LRU cache short-circuits
+// repeated requests — the solver is bit-deterministic, so a cache hit
+// is indistinguishable from a re-solve. Per-request deadlines and
+// client disconnects propagate into the solver via WithContext and
+// surface as mpss.ErrCanceled; a canceled request frees its worker at
+// the next phase/round boundary without poisoning the session. Worker
+// panics are contained per request (500), mirroring the solver's own
+// recover boundary. Shutdown drains: new work is rejected with 503
+// while in-flight solves run to completion.
+//
+// Endpoints:
+//
+//	POST /v1/solve/optimal  offline optimal schedule (optionally exact)
+//	POST /v1/solve/oa       online Optimal Available simulation
+//	POST /v1/solve/avr      online Average Rate simulation
+//	POST /v1/solve/atcap    fixed-frequency schedule at a speed cap
+//	POST /v1/feasible       one feasibility probe at a speed cap
+//	POST /v1/mincap         minimum feasible speed cap
+//	GET  /v1/healthz        liveness ("ok" / "draining")
+//	GET  /v1/metrics        observability snapshot (counters, histograms)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"mpss"
+	"mpss/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a production default.
+type Config struct {
+	// Workers is the solver pool size — the number of concurrent solves
+	// (default GOMAXPROCS). Each worker owns one mpss.Solver session.
+	Workers int
+	// QueueDepth bounds the admission queue; a request arriving with the
+	// queue full is rejected with 503 (default 64).
+	QueueDepth int
+	// DefaultTimeout is the per-request solve deadline (default 30s). A
+	// request's timeout_ms may shorten it but never extend it.
+	DefaultTimeout time.Duration
+	// CacheEntries bounds the result cache (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// Recorder receives the service counters and histograms (and solver
+	// counters from every worker). Defaults to a fresh recorder,
+	// exposed at /v1/metrics either way.
+	Recorder *obs.Recorder
+	// TraceRequests adds a span per solve request to the recorder.
+	TraceRequests bool
+	// TraceSpanLimit caps the recorder's span tree: solver phase spans
+	// and request spans stop accumulating beyond it (counted in
+	// "obs.spans_dropped"), keeping a long-lived daemon's memory
+	// bounded. Default 4096; negative means unlimited.
+	TraceSpanLimit int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Recorder == nil {
+		c.Recorder = obs.New()
+	}
+	if c.TraceSpanLimit == 0 {
+		c.TraceSpanLimit = 4096
+	}
+	if c.TraceSpanLimit > 0 {
+		c.Recorder.LimitTrace(c.TraceSpanLimit)
+	}
+}
+
+// task is one admitted solve request: the worker executes exec on its
+// session and closes done.
+type task struct {
+	ctx  context.Context
+	exec func(sess *session) response
+	resp response
+	done chan struct{}
+}
+
+// session is the per-worker solver state: one mpss.Solver whose arenas
+// stay warm across the requests the worker serves.
+type session struct {
+	solver *mpss.Solver
+}
+
+// testHookTaskStart, when non-nil, runs on the worker goroutine before
+// each task executes. Tests use it to hold a worker mid-request and
+// deterministically fill the queue / exercise the drain path.
+var testHookTaskStart func()
+
+// Server is the scheduling service. Construct with New, serve it as an
+// http.Handler, stop it with Shutdown. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	rec   *obs.Recorder
+	mux   *http.ServeMux
+	cache *resultCache
+	queue chan *task
+
+	workers  sync.WaitGroup // worker goroutines
+	inflight sync.WaitGroup // admitted, not yet answered tasks
+
+	mu       sync.RWMutex // guards draining and the queue close
+	draining bool
+}
+
+// New starts a Server's worker pool and returns it ready to serve.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:   cfg,
+		rec:   cfg.Recorder,
+		mux:   http.NewServeMux(),
+		cache: newResultCache(cfg.CacheEntries),
+		queue: make(chan *task, cfg.QueueDepth),
+	}
+	s.mux.HandleFunc("/v1/solve/optimal", s.solveHandler("optimal"))
+	s.mux.HandleFunc("/v1/solve/oa", s.solveHandler("oa"))
+	s.mux.HandleFunc("/v1/solve/avr", s.solveHandler("avr"))
+	s.mux.HandleFunc("/v1/solve/atcap", s.solveHandler("atcap"))
+	s.mux.HandleFunc("/v1/feasible", s.solveHandler("feasible"))
+	s.mux.HandleFunc("/v1/mincap", s.solveHandler("mincap"))
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Recorder returns the server's observability recorder (the /v1/metrics
+// source).
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// worker is one solver loop: it owns a session for its lifetime and
+// executes queued tasks until the queue closes at drain time.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	// The session solver records into the shared (concurrency-safe)
+	// recorder, so /v1/metrics shows solver counters — rounds, warm
+	// hits, fallbacks — across all workers.
+	sess := &session{solver: mpss.NewSolver(mpss.WithRecorder(s.rec))}
+	for t := range s.queue {
+		if testHookTaskStart != nil {
+			testHookTaskStart()
+		}
+		// A task whose client is already gone (or whose deadline passed
+		// while queued) is not worth starting.
+		if err := t.ctx.Err(); err != nil {
+			s.rec.Add("server.canceled", 1)
+			t.resp = errorResponse(StatusClientClosedRequest, "canceled", err.Error())
+		} else {
+			t.resp = s.runTask(t, sess)
+		}
+		close(t.done)
+	}
+}
+
+// runTask executes one task with per-request panic containment: a panic
+// escaping the solver's own recover boundary (or raised in the handler
+// glue) becomes a 500 for this request, and the worker — with a fresh
+// per-call solver state — keeps serving.
+func (s *Server) runTask(t *task, sess *session) (resp response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.rec.Add("server.panics", 1)
+			resp = errorResponse(http.StatusInternalServerError, "internal", fmt.Sprintf("panic: %v", r))
+		}
+	}()
+	return t.exec(sess)
+}
+
+// admit enqueues a task unless the server is draining or the queue is
+// full. It holds the read lock across the send so Shutdown's queue
+// close (under the write lock) cannot race a send on a closed channel.
+func (s *Server) admit(t *task) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return false
+	}
+	select {
+	case s.queue <- t:
+		s.inflight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown gracefully drains the server: new solve requests are
+// rejected with 503 immediately, in-flight and already-queued solves
+// run to completion, then the workers exit. It returns nil once the
+// pool is fully drained, or ctx.Err() if ctx expires first (workers
+// are left to finish in the background; Shutdown may not be retried).
+// Callers embedding the Server in an http.Server should call
+// http.Server.Shutdown first so handlers finish collecting responses.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		if !already {
+			// All admitted tasks are answered and no further admit can
+			// succeed; the queue is empty and safe to close.
+			s.mu.Lock()
+			close(s.queue)
+			s.mu.Unlock()
+		}
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// solveHandler builds the handler for one solve endpoint: decode,
+// consult the cache, admit into the queue, wait for the worker, cache
+// and reply.
+func (s *Server) solveHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			errorResponse(http.StatusMethodNotAllowed, "method_not_allowed", "POST required").write(w)
+			return
+		}
+		s.rec.Add("server.requests", 1)
+		stop := s.rec.Time("server.request_seconds")
+		defer stop()
+
+		var req SolveRequest
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			errorResponse(http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request: %v", err)).write(w)
+			return
+		}
+		key := requestKey(kind, &req)
+		if resp, ok := s.cache.Get(key); ok {
+			s.rec.Add("server.cache_hits", 1)
+			resp.write(w)
+			return
+		}
+		s.rec.Add("server.cache_misses", 1)
+
+		timeout := s.cfg.DefaultTimeout
+		if req.TimeoutMS > 0 {
+			if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+				timeout = d
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		var span *obs.Span
+		if s.cfg.TraceRequests {
+			span = s.rec.StartSpan("request " + kind)
+			defer span.End()
+		}
+
+		t := &task{
+			ctx:  ctx,
+			exec: func(sess *session) response { return s.solve(ctx, kind, &req, sess, r) },
+			done: make(chan struct{}),
+		}
+		if !s.admit(t) {
+			s.rec.Add("server.rejected", 1)
+			errorResponse(http.StatusServiceUnavailable, "overloaded", "solver queue full or server draining").write(w)
+			return
+		}
+		// The worker always answers: a canceled context unwinds the solve
+		// at its next phase/round boundary, so this wait is bounded.
+		<-t.done
+		s.inflight.Done()
+		span.Add("status", int64(t.resp.code))
+
+		if t.resp.cacheable() {
+			s.cache.Put(key, t.resp)
+		}
+		t.resp.write(w)
+	}
+}
+
+// solve dispatches one admitted request to the worker's solver session.
+func (s *Server) solve(ctx context.Context, kind string, req *SolveRequest, sess *session, r *http.Request) response {
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = 3
+	}
+	p, err := mpss.NewAlpha(alpha)
+	if err != nil {
+		return errorResponse(http.StatusBadRequest, "invalid_instance", fmt.Sprintf("alpha: %v", err))
+	}
+	in := &mpss.Instance{M: req.M, Jobs: req.Jobs}
+	withCtx := mpss.WithContext(ctx)
+
+	fail := func(err error) response {
+		// The request context distinguishes "client hung up" from "the
+		// deadline we imposed expired".
+		clientGone := r.Context().Err() != nil
+		code, errKind := errToStatus(err, clientGone)
+		if errKind == "canceled" {
+			s.rec.Add("server.canceled", 1)
+		}
+		return errorResponse(code, errKind, err.Error())
+	}
+
+	switch kind {
+	case "optimal":
+		solveFn := sess.solver.Solve
+		if req.Exact {
+			solveFn = sess.solver.SolveExact
+		}
+		res, err := solveFn(in, withCtx)
+		if err != nil {
+			return fail(err)
+		}
+		out := OptimalResponse{
+			Energy:   res.Schedule.Energy(p),
+			Alpha:    alpha,
+			Rounds:   res.Stats.Rounds,
+			Schedule: res.Schedule,
+		}
+		for _, ph := range res.Phases {
+			out.Phases = append(out.Phases, PhaseResponse{Speed: ph.Speed, JobIDs: ph.JobIDs, Procs: ph.Procs})
+		}
+		return jsonResponse(http.StatusOK, out)
+	case "oa":
+		res, err := sess.solver.OA(in, withCtx)
+		if err != nil {
+			return fail(err)
+		}
+		return jsonResponse(http.StatusOK, OnlineResponse{
+			Energy:   res.Schedule.Energy(p),
+			Alpha:    alpha,
+			Bound:    mpss.OABound(alpha),
+			Replans:  res.Replans,
+			Schedule: res.Schedule,
+		})
+	case "avr":
+		res, err := sess.solver.AVR(in, withCtx)
+		if err != nil {
+			return fail(err)
+		}
+		return jsonResponse(http.StatusOK, OnlineResponse{
+			Energy:   res.Schedule.Energy(p),
+			Alpha:    alpha,
+			Bound:    mpss.AVRBound(alpha),
+			Schedule: res.Schedule,
+		})
+	case "atcap":
+		// Fixed-frequency "race to idle" schedule: every processor runs
+		// at exactly req.Cap or idles. The one endpoint whose domain
+		// answer can be ErrInfeasible (422): a cap below the instance's
+		// minimum feasible speed admits no schedule.
+		sched, err := mpss.ScheduleAtCap(in, req.Cap)
+		if err != nil {
+			return fail(err)
+		}
+		return jsonResponse(http.StatusOK, AtCapResponse{
+			Energy:   sched.Energy(p),
+			Alpha:    alpha,
+			Cap:      req.Cap,
+			Schedule: sched,
+		})
+	case "feasible":
+		ok, err := sess.solver.FeasibleAtSpeed(in, req.Cap, withCtx)
+		if err != nil {
+			return fail(err)
+		}
+		return jsonResponse(http.StatusOK, FeasibleResponse{Cap: req.Cap, Feasible: ok})
+	case "mincap":
+		cap, err := sess.solver.MinFeasibleCap(in, req.Rel, withCtx)
+		if err != nil {
+			return fail(err)
+		}
+		return jsonResponse(http.StatusOK, MinCapResponse{Cap: cap})
+	default:
+		return errorResponse(http.StatusNotFound, "unknown_endpoint", kind)
+	}
+}
+
+// handleHealthz answers liveness probes: 200 "ok" while accepting, 503
+// "draining" once Shutdown began.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		jsonResponse(http.StatusServiceUnavailable, HealthResponse{Status: "draining"}).write(w)
+		return
+	}
+	jsonResponse(http.StatusOK, HealthResponse{Status: "ok"}).write(w)
+}
+
+// handleMetrics dumps the recorder snapshot — service counters
+// (server.requests, server.cache_hits, server.rejected,
+// server.canceled) alongside the solver counters every worker session
+// recorded.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.rec.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

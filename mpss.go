@@ -44,6 +44,7 @@
 package mpss
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -121,8 +122,11 @@ func NewRecorder() *Recorder { return obs.New() }
 // Metrics.TraceTree.
 type Metrics = obs.Snapshot
 
-// SolveOption configures the instrumented solver entry points
-// (OptimalSchedule, OptimalScheduleExact, OA, AVR).
+// SolveOption configures the solver entry points — the package-level
+// one-shot functions (OptimalSchedule, OptimalScheduleExact, OA, AVR,
+// FeasibleAtSpeed, MinFeasibleCap) and the Solver session methods.
+// Options given to NewSolver become session defaults; options given to
+// an individual call are applied on top.
 type SolveOption func(*solveConfig)
 
 type solveConfig struct {
@@ -131,6 +135,7 @@ type solveConfig struct {
 	capLo      float64
 	capHi      float64
 	capBracket bool
+	ctx        context.Context
 }
 
 // WithRecorder directs a solver run to record its metrics and phase
@@ -187,22 +192,18 @@ func MustAlpha(alpha float64) Alpha { return power.MustAlpha(alpha) }
 // ErrInvalidInstance and friends); the solver never panics on caller
 // input.
 func OptimalSchedule(in *Instance, opts ...SolveOption) (*OptimalResult, error) {
-	if err := ValidateInstance(in); err != nil {
-		return nil, err
-	}
-	cfg := buildSolveConfig(opts)
-	return opt.Schedule(in, opt.WithRecorder(cfg.rec), opt.WithParallelism(cfg.par))
+	s, release := oneShot(opts)
+	defer release()
+	return s.Solve(in)
 }
 
 // OptimalScheduleExact is OptimalSchedule with all phase decisions carried
 // out in exact rational arithmetic. Slower, but immune to floating-point
 // misclassification.
 func OptimalScheduleExact(in *Instance, opts ...SolveOption) (*OptimalResult, error) {
-	if err := ValidateInstance(in); err != nil {
-		return nil, err
-	}
-	cfg := buildSolveConfig(opts)
-	return opt.Schedule(in, opt.Exact(), opt.WithRecorder(cfg.rec))
+	s, release := oneShot(opts)
+	defer release()
+	return s.SolveExact(in)
 }
 
 // YDS computes the classic optimal single-processor schedule.
@@ -219,22 +220,18 @@ func YDS(jobs []Job) (*Schedule, error) {
 // paper: the result consumes at most alpha^alpha times the optimal energy
 // under P(s) = s^alpha.
 func OA(in *Instance, opts ...SolveOption) (*OAResult, error) {
-	if err := ValidateInstance(in); err != nil {
-		return nil, err
-	}
-	cfg := buildSolveConfig(opts)
-	return online.OA(in, online.WithRecorder(cfg.rec))
+	s, release := oneShot(opts)
+	defer release()
+	return s.OA(in)
 }
 
 // AVR runs the online Average Rate algorithm on the instance. Theorem 3
 // of the paper: the result consumes at most (2 alpha)^alpha/2 + 1 times
 // the optimal energy under P(s) = s^alpha.
 func AVR(in *Instance, opts ...SolveOption) (*AVRResult, error) {
-	if err := ValidateInstance(in); err != nil {
-		return nil, err
-	}
-	cfg := buildSolveConfig(opts)
-	return online.AVR(in, online.WithRecorder(cfg.rec))
+	s, release := oneShot(opts)
+	defer release()
+	return s.AVR(in)
 }
 
 // NonMigratory schedules without migration: jobs are assigned to
@@ -323,9 +320,14 @@ func UniformSpeedMenu(max float64, k int) ([]float64, error) {
 }
 
 // FeasibleAtSpeed reports whether the instance fits under a maximum
-// processor speed cap (the speed-bounded setting), via one max-flow test.
-func FeasibleAtSpeed(in *Instance, cap float64) (bool, error) {
-	return opt.FeasibleAtSpeed(in, cap)
+// processor speed cap (the speed-bounded setting), via one max-flow
+// test. Options: WithRecorder counts the probe and the flow-solver
+// operations, WithContext makes it cancelable; WithParallelism only
+// affects the Batch form.
+func FeasibleAtSpeed(in *Instance, cap float64, opts ...SolveOption) (bool, error) {
+	s, release := oneShot(opts)
+	defer release()
+	return s.FeasibleAtSpeed(in, cap)
 }
 
 // FeasibleAtSpeedBatch answers FeasibleAtSpeed for many candidate caps
@@ -333,12 +335,9 @@ func FeasibleAtSpeed(in *Instance, cap float64) (bool, error) {
 // WithParallelism(n > 1) is given. The result is index-aligned with
 // caps.
 func FeasibleAtSpeedBatch(in *Instance, caps []float64, opts ...SolveOption) ([]bool, error) {
-	cfg := buildSolveConfig(opts)
-	workers := cfg.par
-	if workers < 1 {
-		workers = 1
-	}
-	return opt.FeasibleAtSpeedBatch(in, caps, workers, cfg.rec)
+	s, release := oneShot(opts)
+	defer release()
+	return s.FeasibleAtSpeedBatch(in, caps)
 }
 
 // MinFeasibleCap returns the smallest processor speed cap at which the
@@ -346,15 +345,9 @@ func FeasibleAtSpeedBatch(in *Instance, caps []float64, opts ...SolveOption) ([]
 // WithParallelism(k > 1) each search wave probes k caps speculatively
 // in parallel; WithBracket skips the initial bracketing solve.
 func MinFeasibleCap(in *Instance, rel float64, opts ...SolveOption) (float64, error) {
-	cfg := buildSolveConfig(opts)
-	var capOpts []opt.CapOption
-	if cfg.par > 1 {
-		capOpts = append(capOpts, opt.WithProbeParallelism(cfg.par))
-	}
-	if cfg.capBracket {
-		capOpts = append(capOpts, opt.WithBracket(cfg.capLo, cfg.capHi))
-	}
-	return opt.MinFeasibleCapObserved(in, rel, cfg.rec, capOpts...)
+	s, release := oneShot(opts)
+	defer release()
+	return s.MinFeasibleCap(in, rel)
 }
 
 // PotentialTracker evaluates the potential function of the paper's OA(m)

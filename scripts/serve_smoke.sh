@@ -1,0 +1,115 @@
+#!/bin/sh
+# Daemon smoke test: build mpss-served, boot it on an ephemeral port,
+# exercise a solve (twice, so the second hits the result cache), the
+# error mapping, /v1/metrics and /v1/healthz, then SIGTERM it and
+# require a clean drain (exit 0). Complements the in-process httptest
+# suite in internal/server by covering the real binary: flag parsing,
+# the readiness line, signal handling and process exit codes.
+#
+# Run from the repository root (make serve-smoke does).
+set -u
+
+GO=${GO:-go}
+CURL=${CURL:-curl}
+tmp=$(mktemp -d)
+fail=0
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+if ! command -v "$CURL" >/dev/null 2>&1; then
+    echo "serve-smoke: skipped ($CURL not available)" >&2
+    exit 0
+fi
+
+if ! $GO build -o "$tmp/mpss-served" ./cmd/mpss-served; then
+    echo "serve-smoke: build failed" >&2
+    exit 1
+fi
+
+"$tmp/mpss-served" -addr 127.0.0.1:0 -workers 2 -cache 64 2>"$tmp/served.err" &
+pid=$!
+
+# The readiness line "mpss-served: listening on HOST:PORT" is the
+# documented boot signal; wait for it and take the address from it.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/^mpss-served: listening on //p' "$tmp/served.err")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: daemon died before readiness:" >&2
+        sed 's/^/    /' "$tmp/served.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: no readiness line within 10s" >&2
+    exit 1
+fi
+base="http://$addr"
+
+# req NAME WANT_STATUS MATCH URL [BODY] — POSTs BODY (or GETs), checks
+# the HTTP status and that the response body contains MATCH.
+req() {
+    name=$1 want=$2 match=$3 url=$4
+    if [ $# -ge 5 ]; then
+        status=$($CURL -s -o "$tmp/body" -w '%{http_code}' -d "$5" "$base$url")
+    else
+        status=$($CURL -s -o "$tmp/body" -w '%{http_code}' "$base$url")
+    fi
+    if [ "$status" != "$want" ]; then
+        echo "serve-smoke: $name: status $status, want $want" >&2
+        sed 's/^/    /' "$tmp/body" >&2
+        fail=1
+    fi
+    if ! grep -q "$match" "$tmp/body"; then
+        echo "serve-smoke: $name: body lacks \"$match\":" >&2
+        sed 's/^/    /' "$tmp/body" >&2
+        fail=1
+    fi
+}
+
+inst='{"m":2,"jobs":[{"id":1,"release":0,"deadline":4,"work":8},{"id":2,"release":1,"deadline":5,"work":2}]}'
+
+req "healthz" 200 '"ok"' /v1/healthz
+req "solve" 200 '"energy"' /v1/solve/optimal "$inst"
+req "solve again" 200 '"energy"' /v1/solve/optimal "$inst"
+req "oa" 200 '"bound"' /v1/solve/oa "$inst"
+req "feasible" 200 '"feasible"' /v1/feasible '{"m":2,"jobs":[{"id":1,"release":0,"deadline":4,"work":8}],"cap":100}'
+req "mincap" 200 '"cap"' /v1/mincap "$inst"
+req "bad instance" 400 'invalid_instance' /v1/solve/optimal '{"m":0,"jobs":[{"id":1,"release":0,"deadline":1,"work":1}]}'
+req "infeasible cap" 422 'infeasible' /v1/solve/atcap '{"m":2,"jobs":[{"id":1,"release":0,"deadline":4,"work":8}],"cap":0.1}'
+req "metrics" 200 'server.cache_hits' /v1/metrics
+if ! grep -q '"server.cache_hits": *[1-9]' "$tmp/body"; then
+    echo "serve-smoke: repeated solve did not hit the cache:" >&2
+    grep -o '"server\.[a-z_]*": *[0-9]*' "$tmp/body" | sed 's/^/    /' >&2
+    fail=1
+fi
+
+# Graceful drain: SIGTERM must exit 0 after reporting the drain.
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "serve-smoke: SIGTERM exit $rc, want 0:" >&2
+    sed 's/^/    /' "$tmp/served.err" >&2
+    fail=1
+fi
+if ! grep -q "drained" "$tmp/served.err"; then
+    echo "serve-smoke: no drain confirmation on stderr" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "serve-smoke: FAIL" >&2
+    exit 1
+fi
+echo "serve-smoke: ok"
