@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke cli-smoke serve-smoke fuzz-smoke clean
+.PHONY: all build test vet race verify bench bench-smoke cli-smoke serve-smoke loadgen-smoke fuzz-smoke clean
 
 all: verify
 
@@ -31,12 +31,18 @@ cli-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# loadgen-smoke runs mpss-loadgen against a live daemon for a short
+# open-loop burst and asserts the SLO report (non-zero throughput, zero
+# 5xx) plus a valid Prometheus scrape under load.
+loadgen-smoke:
+	sh scripts/loadgen_smoke.sh
+
 # fuzz-smoke runs the solver-boundary fuzz harness briefly: enough to
 # catch a reintroduced panic path, cheap enough for every CI run.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolvePipeline -fuzztime 20s .
 
-verify: build vet test race cli-smoke serve-smoke
+verify: build vet test race cli-smoke serve-smoke loadgen-smoke
 
 # bench runs the solver benchmark family (warm incremental engine vs the
 # cold per-round-rebuild baseline) and archives the numbers — ns/op,
@@ -48,6 +54,9 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkOptSchedule|BenchmarkFeasibleAtSpeed|BenchmarkMinFeasibleCap' \
 		-benchtime 3x -count 1 ./internal/opt/ | tee bench_opt.txt
 	$(GO) run ./cmd/benchjson -o BENCH_opt.json < bench_opt.txt >/dev/null
+	$(GO) test -run xxx -bench 'BenchmarkHistogram|BenchmarkLabeledCounter|BenchmarkWritePrometheus' \
+		-benchtime 100x -count 1 ./internal/obs/ | tee bench_obs.txt
+	$(GO) run ./cmd/benchjson -o BENCH_obs.json < bench_obs.txt >/dev/null
 
 # bench-smoke is the fast CI variant: one iteration of the small sizes.
 bench-smoke:

@@ -1,14 +1,23 @@
 // Command mpss-served runs the scheduling service: a long-lived HTTP
 // daemon exposing the paper's offline optimum, the OA/AVR online
 // simulations and the speed-bounded feasibility queries as a JSON API
-// (see internal/server for the endpoint list and DESIGN.md §10 for the
-// architecture).
+// (see internal/server for the endpoint list and DESIGN.md §10–§11 for
+// the architecture and the telemetry layer).
 //
 // Usage:
 //
 //	mpss-served -addr :8080 -workers 4 -queue 128 -timeout 30s
 //	curl -s localhost:8080/v1/solve/optimal -d '{"m":2,"jobs":[{"id":1,"release":0,"deadline":4,"work":8}]}'
-//	curl -s localhost:8080/v1/metrics
+//	curl -s localhost:8080/v1/metrics       # JSON snapshot
+//	curl -s localhost:8080/metrics          # Prometheus exposition
+//	curl -s localhost:8080/v1/debug/traces  # flight recorder
+//
+// The daemon logs structured records (slog; JSON by default) to stderr:
+// one "listening" record at startup — the readiness sentinel
+// scripts/serve_smoke.sh waits for — one access-log record per request,
+// and "draining"/"drained" records around shutdown. -debug-addr starts
+// a second listener with net/http/pprof and the flight recorder, meant
+// to stay private.
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops
 // accepting, in-flight solves run to completion (bounded by
@@ -22,10 +31,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,11 +51,20 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request solve deadline")
 		cache        = flag.Int("cache", 0, "result cache entries (0 = default 1024, negative disables)")
 		trace        = flag.Bool("trace", false, "record a span per request (bounded by the trace span limit)")
+		flight       = flag.Int("flight", 0, "flight recorder size: retain N most recent + N slowest request traces (0 = default 64, negative disables)")
+		debugAddr    = flag.String("debug-addr", "", "optional second listen address for pprof + debug endpoints (empty = disabled)")
+		logFormat    = flag.String("log-format", "json", "log encoding: json or text")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight solves on shutdown")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "mpss-served: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpss-served:", err)
 		os.Exit(2)
 	}
 
@@ -54,17 +74,39 @@ func main() {
 		DefaultTimeout: *timeout,
 		CacheEntries:   *cache,
 		TraceRequests:  *trace,
+		FlightEntries:  *flight,
+		Logger:         logger,
 	})
+	cfg := srv.Config() // resolved defaults, for honest startup logging
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mpss-served:", err)
+		logger.Error("listen failed", "addr", *addr, "error", err.Error())
 		os.Exit(2)
 	}
-	// The "listening" line is the readiness signal scripts wait for
-	// (scripts/serve_smoke.sh greps it before issuing requests).
-	fmt.Fprintf(os.Stderr, "mpss-served: listening on %s\n", ln.Addr())
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("debug listen failed", "addr", *debugAddr, "error", err.Error())
+			os.Exit(2)
+		}
+		debugSrv = &http.Server{Handler: srv.DebugHandler()}
+		go debugSrv.Serve(dln)
+		logger.Info("debug listening", "addr", dln.Addr().String())
+	}
+	// The "listening" record is the readiness signal scripts wait for
+	// (scripts/serve_smoke.sh and loadgen_smoke.sh extract the address
+	// from its "addr" attribute before issuing requests).
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"workers", cfg.Workers,
+		"queue", cfg.QueueDepth,
+		"cache", cfg.CacheEntries,
+		"timeout", cfg.DefaultTimeout.String(),
+		"flight", cfg.FlightEntries,
+	)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -74,10 +116,10 @@ func main() {
 
 	select {
 	case err := <-serveErr:
-		fmt.Fprintln(os.Stderr, "mpss-served:", err)
+		logger.Error("serve failed", "error", err.Error())
 		os.Exit(1)
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "mpss-served: %v, draining\n", s)
+		logger.Info("draining", "signal", s.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -86,12 +128,41 @@ func main() {
 	// the worker pool (handlers block on their workers, so by the time
 	// http shutdown returns, the queue is quiescing).
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "mpss-served: http shutdown:", err)
+		logger.Error("http shutdown failed", "error", err.Error())
 		os.Exit(1)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "mpss-served: drain:", err)
+		logger.Error("drain failed", "error", err.Error())
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "mpss-served: drained, bye")
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
+	logger.Info("drained")
+}
+
+// buildLogger assembles the stderr slog logger from the CLI knobs.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q", format)
+	}
 }

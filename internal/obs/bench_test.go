@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// Benchmarks for the telemetry hot paths: what one request costs in
+// metric upkeep (Observe, labeled lookup) and what one scrape costs
+// (quantile estimation, full exposition encode). `make bench` archives
+// these as BENCH_obs.json via cmd/benchjson.
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 1000)
+	}
+}
+
+func BenchmarkHistogramObserveBeyondReservoir(b *testing.B) {
+	var h Histogram
+	for i := 0; i < reservoirCap+1; i++ {
+		h.Observe(float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}
+
+func BenchmarkHistogramQuantiles(b *testing.B) {
+	var h Histogram
+	for i := 0; i < reservoirCap; i++ {
+		h.Observe(float64(i%997) / 997)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Summary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLabeledCounterAdd(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.AddL("server.http_requests", 1,
+			Label{"endpoint", "optimal"}, Label{"code", "200"})
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := New()
+	endpoints := []string{"optimal", "oa", "avr", "feasible", "mincap", "atcap"}
+	codes := []string{"200", "400", "422", "503"}
+	for _, e := range endpoints {
+		for _, c := range codes {
+			r.AddL("server.http_requests", 5, Label{"endpoint", e}, Label{"code", c})
+		}
+		for i := 0; i < 512; i++ {
+			r.ObserveL("server.http_request_seconds", float64(i)/1000, Label{"endpoint", e})
+		}
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(sb.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantilesUniform checks the sample-based quantile
+// estimator on a known distribution: 1..N uniform grid, where the
+// p-quantile is analytically 1 + p·(N−1).
+func TestHistogramQuantilesUniform(t *testing.T) {
+	var h Histogram
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i))
+	}
+	s, err := h.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", s.Median, 1 + 0.50*(n-1)},
+		{"p90", s.P90, 1 + 0.90*(n-1)},
+		{"p95", s.P95, 1 + 0.95*(n-1)},
+		{"p99", s.P99, 1 + 0.99*(n-1)},
+	} {
+		if math.Abs(c.got-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if s.N != n || s.Min != 1 || s.Max != n {
+		t.Errorf("N/Min/Max = %d/%v/%v, want %d/1/%d", s.N, s.Min, s.Max, n, n)
+	}
+	if want := float64(n+1) / 2; math.Abs(s.Mean-want) > 1e-9 {
+		t.Errorf("mean = %v, want %v", s.Mean, want)
+	}
+}
+
+// TestHistogramQuantilesExponential checks the estimator against the
+// analytic quantile function of Exp(1): −ln(1−p), sampled through the
+// inverse CDF on a deterministic uniform grid.
+func TestHistogramQuantilesExponential(t *testing.T) {
+	var h Histogram
+	const n = 2000
+	for i := 0; i < n; i++ {
+		u := (float64(i) + 0.5) / n
+		h.Observe(-math.Log(1 - u))
+	}
+	s, err := h.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		got  float64
+		p    float64
+	}{
+		{"p50", s.Median, 0.5},
+		{"p90", s.P90, 0.9},
+		{"p99", s.P99, 0.99},
+	} {
+		want := -math.Log(1 - c.p)
+		// Grid discretization error is O(1/(n(1−p))).
+		if math.Abs(c.got-want) > 0.05*want+0.01 {
+			t.Errorf("%s = %v, want ≈ %v", c.name, c.got, want)
+		}
+	}
+}
+
+// TestHistogramReservoirBeyondCap drives a histogram far past the
+// reservoir capacity: count/sum/extrema stay exact, the reservoir stays
+// bounded, and the quantile estimate remains close to the true value of
+// the full stream.
+func TestHistogramReservoirBeyondCap(t *testing.T) {
+	var h Histogram
+	const n = 3 * reservoirCap
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != n {
+		t.Fatalf("Count = %d, want %d", got, n)
+	}
+	s, err := h.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != n {
+		t.Errorf("Summary N = %d, want exact %d", s.N, n)
+	}
+	if s.Min != 1 || s.Max != n {
+		t.Errorf("extrema = %v/%v, want exact 1/%d", s.Min, s.Max, n)
+	}
+	if want := float64(n+1) / 2; math.Abs(s.Mean-want) > 1e-9 {
+		t.Errorf("mean = %v, want exact %v", s.Mean, want)
+	}
+	if len(h.samples) != reservoirCap {
+		t.Errorf("reservoir grew to %d, cap %d", len(h.samples), reservoirCap)
+	}
+	// The uniform reservoir should estimate the p50 of U{1..n} within a
+	// few percent (binomial error at 4096 samples is ≈ 1.5% for p50).
+	if want := float64(n) / 2; math.Abs(s.Median-want) > 0.1*want {
+		t.Errorf("reservoir median = %v, want ≈ %v", s.Median, want)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.SetBuckets([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	bounds, cum, count, sum, ok := h.exposition()
+	if !ok {
+		t.Fatal("exposition not ok")
+	}
+	if len(bounds) != 3 || bounds[0] != 1 || bounds[2] != 4 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// le=1: {0.5, 1}; le=2: +{1.5}; le=4: +{3}; +Inf: +{100}.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if count != 5 || sum != 0.5+1+1.5+3+100 {
+		t.Errorf("count/sum = %d/%v", count, sum)
+	}
+	// Default grid engages when no explicit bounds were set.
+	var d Histogram
+	d.Observe(0.003)
+	bounds, cum, _, _, ok = d.exposition()
+	if !ok || len(bounds) != len(DefaultBuckets) {
+		t.Fatalf("default bounds = %v", bounds)
+	}
+	var total uint64
+	for _, c := range cum {
+		total = c // cumulative: last is total
+	}
+	if total != 1 {
+		t.Errorf("default-grid total = %d, want 1", total)
+	}
+	// Empty histograms expose nothing.
+	var e Histogram
+	if _, _, _, _, ok := e.exposition(); ok {
+		t.Error("empty histogram claims exposition data")
+	}
+}
+
+func TestSpanTags(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("request")
+	sp.SetTag("request_id", "abc-123")
+	sp.End()
+	snap := r.Snapshot()
+	if len(snap.Trace) != 1 || snap.Trace[0].Tags["request_id"] != "abc-123" {
+		t.Fatalf("trace = %+v, want request_id tag", snap.Trace)
+	}
+	// Nil-safety.
+	var nilSpan *Span
+	nilSpan.SetTag("k", "v")
+}

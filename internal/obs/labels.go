@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Label is one key/value dimension of a labeled metric series, e.g.
+// {endpoint="optimal"} or {code="200"}. Labeled series let the server
+// expose per-endpoint × per-status request counts and latency
+// histograms while the underlying Recorder storage stays a flat map:
+// the labels are folded into the series name in a canonical encoding.
+//
+// Cardinality discipline is the caller's job: label values must come
+// from small closed sets (route names, status codes), never from
+// request payloads (see DESIGN.md §11 for the budget).
+type Label struct {
+	Key, Value string
+}
+
+// LabeledName renders the canonical encoded series name
+//
+//	name{k1="v1",k2="v2"}
+//
+// with keys sorted and values escaped exactly as the Prometheus text
+// format escapes label values (backslash, double quote, newline). The
+// encoding is what appears as the series key in JSON snapshots, and
+// what the exposition encoder parses back into name + label pairs.
+func LabeledName(name string, labels ...Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format label escaping.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitLabeledName is the inverse of LabeledName at the granularity the
+// exposition encoder needs: it separates the base series name from the
+// (already-escaped, canonical) label body, without the braces. labels
+// is "" for an unlabeled series.
+func splitLabeledName(series string) (name, labels string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 || !strings.HasSuffix(series, "}") {
+		return series, ""
+	}
+	return series[:i], series[i+1 : len(series)-1]
+}
+
+// CounterL returns the counter for the labeled series, creating it on
+// first use (nil handle on a nil recorder).
+func (r *Recorder) CounterL(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.Counter(LabeledName(name, labels...))
+}
+
+// AddL increments the labeled counter series by delta.
+func (r *Recorder) AddL(name string, delta int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.CounterL(name, labels...).Add(delta)
+}
+
+// HistogramL returns the histogram for the labeled series, creating it
+// on first use (nil handle on a nil recorder).
+func (r *Recorder) HistogramL(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.Histogram(LabeledName(name, labels...))
+}
+
+// ObserveL appends one sample to the labeled histogram series.
+func (r *Recorder) ObserveL(name string, v float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.HistogramL(name, labels...).Observe(v)
+}

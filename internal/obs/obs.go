@@ -58,12 +58,50 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// DefaultBuckets are the cumulative upper bounds (in seconds, matching
+// the histograms' dominant use for durations) a Histogram tallies into
+// when no explicit bounds were set: an exponential ladder from 50µs to
+// 10s. Exposed so the Prometheus encoder and tests agree on the grid.
+var DefaultBuckets = []float64{
+	5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+	2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// reservoirCap bounds the per-histogram raw-sample memory: a long-lived
+// daemon observing millions of requests keeps at most this many samples
+// (uniformly selected via reservoir sampling) for percentile estimation,
+// while bucket counts, count, sum and extrema stay exact.
+const reservoirCap = 4096
+
 // Histogram accumulates float64 observations (typically durations in
-// seconds) and summarizes them through internal/stats. Safe for
-// concurrent use; all methods are no-ops on a nil receiver.
+// seconds). It maintains exact cumulative bucket counts on a fixed
+// bound grid (for Prometheus exposition), exact count/sum/extrema, and
+// a bounded uniform reservoir of raw samples for quantile estimation
+// through internal/stats. Safe for concurrent use; all methods are
+// no-ops on a nil receiver.
 type Histogram struct {
-	mu      sync.Mutex
-	samples []float64
+	mu       sync.Mutex
+	bounds   []float64 // cumulative upper bounds; DefaultBuckets unless SetBuckets ran
+	counts   []uint64  // len(bounds)+1; last slot is +Inf
+	total    uint64
+	sum      float64
+	min, max float64
+	samples  []float64 // uniform reservoir, ≤ reservoirCap
+	rng      uint64    // xorshift64 state for reservoir replacement
+}
+
+// SetBuckets replaces the bucket bound grid (sorted copy). It resets any
+// existing bucket tallies, so call it before the first Observe.
+func (h *Histogram) SetBuckets(bounds []float64) {
+	if h == nil {
+		return
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	h.mu.Lock()
+	h.bounds = b
+	h.counts = make([]uint64, len(b)+1)
+	h.mu.Unlock()
 }
 
 // Observe appends one sample.
@@ -72,7 +110,38 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	h.mu.Lock()
-	h.samples = append(h.samples, v)
+	if h.counts == nil {
+		if h.bounds == nil {
+			h.bounds = DefaultBuckets
+		}
+		h.counts = make([]uint64, len(h.bounds)+1)
+	}
+	// Prometheus "le" semantics: bucket i counts v <= bounds[i].
+	h.counts[sort.SearchFloat64s(h.bounds, v)]++
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if h.total == 0 || v > h.max {
+		h.max = v
+	}
+	h.total++
+	h.sum += v
+	if len(h.samples) < reservoirCap {
+		h.samples = append(h.samples, v)
+	} else {
+		// Algorithm R with a deterministic xorshift64 stream: each of
+		// the total observations ends up in the reservoir with equal
+		// probability, and runs are reproducible.
+		if h.rng == 0 {
+			h.rng = 0x9e3779b97f4a7c15
+		}
+		h.rng ^= h.rng << 13
+		h.rng ^= h.rng >> 7
+		h.rng ^= h.rng << 17
+		if j := h.rng % h.total; j < reservoirCap {
+			h.samples[j] = v
+		}
+	}
 	h.mu.Unlock()
 }
 
@@ -83,19 +152,52 @@ func (h *Histogram) Count() int {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.total)
 }
 
-// Summary computes the distributional summary of the samples. It returns
-// an error on an empty histogram (matching stats.Summarize).
+// Summary computes the distributional summary of the samples. Count,
+// mean and extrema are exact; Std and the percentiles are estimated
+// from the bounded reservoir once the histogram has seen more than
+// reservoirCap observations. It returns an error on an empty histogram
+// (matching stats.Summarize).
 func (h *Histogram) Summary() (stats.Summary, error) {
 	if h == nil {
 		return stats.Summary{}, fmt.Errorf("obs: nil histogram")
 	}
 	h.mu.Lock()
 	sample := append([]float64(nil), h.samples...)
+	total, sum, lo, hi := h.total, h.sum, h.min, h.max
 	h.mu.Unlock()
-	return stats.Summarize(sample)
+	s, err := stats.Summarize(sample)
+	if err != nil {
+		return s, err
+	}
+	s.N = int(total)
+	s.Mean = sum / float64(total)
+	s.Min, s.Max = lo, hi
+	return s, nil
+}
+
+// exposition returns the histogram's Prometheus-facing state: bucket
+// bounds with cumulative (monotone) counts, total count and sum. ok is
+// false for an empty (or nil) histogram.
+func (h *Histogram) exposition() (bounds []float64, cum []uint64, count uint64, sum float64, ok bool) {
+	if h == nil {
+		return nil, nil, 0, 0, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return nil, nil, 0, 0, false
+	}
+	bounds = append([]float64(nil), h.bounds...)
+	cum = make([]uint64, len(h.counts))
+	var running uint64
+	for i, c := range h.counts {
+		running += c
+		cum[i] = running
+	}
+	return bounds, cum, h.total, h.sum, true
 }
 
 // Span is one node of the hierarchical trace: a named region of a solver
@@ -112,6 +214,7 @@ type Span struct {
 	end      time.Time
 	counters map[string]int64
 	values   map[string]float64
+	tags     map[string]string
 	children []*Span
 }
 
@@ -167,6 +270,21 @@ func (s *Span) SetValue(name string, v float64) {
 		s.values = make(map[string]float64, 4)
 	}
 	s.values[name] = v
+	s.mu.Unlock()
+}
+
+// SetTag records a string-valued attribute (e.g. the request ID a
+// server span belongs to), so trace consumers can correlate spans with
+// logs and responses.
+func (s *Span) SetTag(name, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.tags == nil {
+		s.tags = make(map[string]string, 2)
+	}
+	s.tags[name] = value
 	s.mu.Unlock()
 }
 
@@ -334,6 +452,7 @@ type SpanSnapshot struct {
 	Seconds  float64            `json:"seconds"`
 	Counters map[string]int64   `json:"counters,omitempty"`
 	Values   map[string]float64 `json:"values,omitempty"`
+	Tags     map[string]string  `json:"tags,omitempty"`
 	Children []SpanSnapshot     `json:"children,omitempty"`
 }
 
@@ -416,6 +535,12 @@ func snapshotSpan(s *Span, now time.Time) SpanSnapshot {
 			ss.Values[k] = v
 		}
 	}
+	if len(s.tags) > 0 {
+		ss.Tags = make(map[string]string, len(s.tags))
+		for k, v := range s.tags {
+			ss.Tags[k] = v
+		}
+	}
 	s.mu.Unlock()
 	ss.Children = snapshotChildren(s, now)
 	return ss
@@ -452,6 +577,9 @@ func renderSpan(b *strings.Builder, s SpanSnapshot, depth int) {
 	}
 	for _, k := range sortedKeys(s.Values) {
 		fmt.Fprintf(b, "  %s=%.6g", k, s.Values[k])
+	}
+	for _, k := range sortedKeys(s.Tags) {
+		fmt.Fprintf(b, "  %s=%q", k, s.Tags[k])
 	}
 	b.WriteByte('\n')
 	for _, c := range s.Children {

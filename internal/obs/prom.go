@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file renders a Recorder in the Prometheus text exposition format
+// (version 0.0.4), the scrape surface of a long-lived daemon:
+//
+//   - every counter becomes a `mpss_<name>_total` counter family, with
+//     labeled series (see labels.go) split back into label pairs;
+//   - every histogram becomes a `mpss_<name>` histogram family with
+//     cumulative `_bucket{le="..."}` series, `_sum` and `_count`, plus a
+//     companion `mpss_<name>_summary` summary family carrying the
+//     estimated p50/p90/p99 quantiles — the same numbers the JSON
+//     snapshot reports (stats.Summary Median/P90/P99), so the two views
+//     of /v1/metrics and /metrics never disagree;
+//   - Go runtime gauges (goroutines, heap, GC) and the recorder uptime
+//     round out what an operator needs to alert on.
+//
+// Output is deterministically ordered (families and series sorted), so
+// golden tests can diff it directly.
+
+// promQuantiles are the quantile labels of the companion summary family.
+var promQuantiles = []struct {
+	label string
+	pick  func(s summaryView) float64
+}{
+	{"0.5", func(s summaryView) float64 { return s.median }},
+	{"0.9", func(s summaryView) float64 { return s.p90 }},
+	{"0.99", func(s summaryView) float64 { return s.p99 }},
+}
+
+type summaryView struct{ median, p90, p99 float64 }
+
+// WritePrometheus renders the recorder's current state in the
+// Prometheus text exposition format. A nil recorder writes nothing.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	writeCounterFamilies(&b, counters)
+	writeHistogramFamilies(&b, hists)
+	writeRuntimeGauges(&b)
+	fmt.Fprintf(&b, "# TYPE mpss_uptime_seconds gauge\nmpss_uptime_seconds %s\n",
+		formatPromFloat(time.Since(r.start).Seconds()))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeCounterFamilies(b *strings.Builder, counters map[string]*Counter) {
+	type series struct {
+		labels string
+		value  int64
+	}
+	families := make(map[string][]series)
+	for key, c := range counters {
+		base, labels := splitLabeledName(key)
+		fam := "mpss_" + sanitizeMetricName(base) + "_total"
+		families[fam] = append(families[fam], series{labels, c.Value()})
+	}
+	for _, fam := range sortedKeys(families) {
+		fmt.Fprintf(b, "# TYPE %s counter\n", fam)
+		ss := families[fam]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			fmt.Fprintf(b, "%s %d\n", seriesName(fam, s.labels), s.value)
+		}
+	}
+}
+
+func writeHistogramFamilies(b *strings.Builder, hists map[string]*Histogram) {
+	type series struct {
+		labels string
+		h      *Histogram
+	}
+	families := make(map[string][]series)
+	for key, h := range hists {
+		base, labels := splitLabeledName(key)
+		fam := "mpss_" + sanitizeMetricName(base)
+		families[fam] = append(families[fam], series{labels, h})
+	}
+	for _, fam := range sortedKeys(families) {
+		ss := families[fam]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+
+		fmt.Fprintf(b, "# TYPE %s histogram\n", fam)
+		type quantiled struct {
+			labels string
+			view   summaryView
+			count  uint64
+			sum    float64
+		}
+		var quantiles []quantiled
+		for _, s := range ss {
+			bounds, cum, count, sum, ok := s.h.exposition()
+			if !ok {
+				continue
+			}
+			for i, bound := range bounds {
+				le := formatPromFloat(bound)
+				fmt.Fprintf(b, "%s %d\n",
+					seriesName(fam+"_bucket", joinLabels(s.labels, `le="`+le+`"`)), cum[i])
+			}
+			fmt.Fprintf(b, "%s %d\n",
+				seriesName(fam+"_bucket", joinLabels(s.labels, `le="+Inf"`)), cum[len(cum)-1])
+			fmt.Fprintf(b, "%s %s\n", seriesName(fam+"_sum", s.labels), formatPromFloat(sum))
+			fmt.Fprintf(b, "%s %d\n", seriesName(fam+"_count", s.labels), count)
+
+			if sum2, err := s.h.Summary(); err == nil {
+				quantiles = append(quantiles, quantiled{
+					labels: s.labels,
+					view:   summaryView{median: sum2.Median, p90: sum2.P90, p99: sum2.P99},
+					count:  count,
+					sum:    sum,
+				})
+			}
+		}
+		if len(quantiles) == 0 {
+			continue
+		}
+		sfam := fam + "_summary"
+		fmt.Fprintf(b, "# TYPE %s summary\n", sfam)
+		for _, q := range quantiles {
+			for _, pq := range promQuantiles {
+				fmt.Fprintf(b, "%s %s\n",
+					seriesName(sfam, joinLabels(q.labels, `quantile="`+pq.label+`"`)),
+					formatPromFloat(pq.pick(q.view)))
+			}
+			fmt.Fprintf(b, "%s %s\n", seriesName(sfam+"_sum", q.labels), formatPromFloat(q.sum))
+			fmt.Fprintf(b, "%s %d\n", seriesName(sfam+"_count", q.labels), q.count)
+		}
+	}
+}
+
+// writeRuntimeGauges emits the Go runtime health gauges a production
+// scrape needs: goroutine count, heap occupancy and GC activity.
+func writeRuntimeGauges(b *strings.Builder) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(b, "# TYPE go_goroutines gauge\ngo_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(b, "# TYPE go_memstats_alloc_bytes gauge\ngo_memstats_alloc_bytes %d\n", ms.Alloc)
+	fmt.Fprintf(b, "# TYPE go_memstats_sys_bytes gauge\ngo_memstats_sys_bytes %d\n", ms.Sys)
+	fmt.Fprintf(b, "# TYPE go_memstats_heap_objects gauge\ngo_memstats_heap_objects %d\n", ms.HeapObjects)
+	fmt.Fprintf(b, "# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(b, "# TYPE go_gc_pause_seconds_total counter\ngo_gc_pause_seconds_total %s\n",
+		formatPromFloat(float64(ms.PauseTotalNs)/1e9))
+}
+
+// seriesName renders "name" or "name{labels}".
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// joinLabels appends one more rendered label pair to an (possibly
+// empty) escaped label body.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// sanitizeMetricName maps an internal series name ("server.requests")
+// onto the Prometheus metric-name alphabet [a-zA-Z0-9_:].
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatPromFloat renders a float in the shortest round-trip form the
+// exposition format accepts.
+func formatPromFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSeries is one parsed exposition sample line.
+type promSeries struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition is the minimal scanner of the Prometheus text format
+// the tests (and the smoke scripts, conceptually) rely on: every
+// non-comment line must be `name[{labels}] value`, label values must be
+// correctly quoted, and the types declared in `# TYPE` comments are
+// returned per family.
+func parseExposition(t *testing.T, text string) (series []promSeries, types map[string]string) {
+	t.Helper()
+	types = make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator: %q", ln+1, line)
+		}
+		nameAndLabels, valueText := line[:sp], line[sp+1:]
+		value, err := strconv.ParseFloat(valueText, 64)
+		if err != nil && valueText != "+Inf" {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valueText, err)
+		}
+		s := promSeries{labels: map[string]string{}, value: value}
+		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
+			if !strings.HasSuffix(nameAndLabels, "}") {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			s.name = nameAndLabels[:i]
+			body := nameAndLabels[i+1 : len(nameAndLabels)-1]
+			for body != "" {
+				eq := strings.IndexByte(body, '=')
+				if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+					t.Fatalf("line %d: malformed label in %q", ln+1, line)
+				}
+				key := body[:eq]
+				rest := body[eq+2:]
+				// Scan the quoted value honoring backslash escapes.
+				var val strings.Builder
+				j := 0
+				for ; j < len(rest); j++ {
+					if rest[j] == '\\' && j+1 < len(rest) {
+						switch rest[j+1] {
+						case 'n':
+							val.WriteByte('\n')
+						default:
+							val.WriteByte(rest[j+1])
+						}
+						j++
+						continue
+					}
+					if rest[j] == '"' {
+						break
+					}
+					val.WriteByte(rest[j])
+				}
+				if j == len(rest) {
+					t.Fatalf("line %d: unterminated label value in %q", ln+1, line)
+				}
+				s.labels[key] = val.String()
+				body = rest[j+1:]
+				body = strings.TrimPrefix(body, ",")
+			}
+		} else {
+			s.name = nameAndLabels
+		}
+		for _, r := range s.name {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == ':') {
+				t.Fatalf("line %d: invalid metric name %q", ln+1, s.name)
+			}
+		}
+		series = append(series, s)
+	}
+	return series, types
+}
+
+func expositionText(t *testing.T, r *Recorder) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := New()
+	r.Add("server.requests", 7)
+	r.AddL("server.http_requests", 3, Label{"endpoint", "optimal"}, Label{"code", "200"})
+	r.AddL("server.http_requests", 2, Label{"endpoint", "optimal"}, Label{"code", "422"})
+	r.AddL("server.http_requests", 1, Label{"endpoint", "oa"}, Label{"code", "200"})
+	for i := 1; i <= 100; i++ {
+		r.ObserveL("server.request_seconds", float64(i)/1000, Label{"endpoint", "optimal"})
+	}
+
+	text := expositionText(t, r)
+	series, types := parseExposition(t, text)
+
+	if types["mpss_server_requests_total"] != "counter" {
+		t.Errorf("mpss_server_requests_total type = %q, want counter", types["mpss_server_requests_total"])
+	}
+	if types["mpss_server_request_seconds"] != "histogram" {
+		t.Errorf("mpss_server_request_seconds type = %q, want histogram", types["mpss_server_request_seconds"])
+	}
+	if types["mpss_server_request_seconds_summary"] != "summary" {
+		t.Errorf("summary family type = %q, want summary", types["mpss_server_request_seconds_summary"])
+	}
+
+	find := func(name string, labels map[string]string) *promSeries {
+		for i := range series {
+			if series[i].name != name {
+				continue
+			}
+			match := true
+			for k, v := range labels {
+				if series[i].labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return &series[i]
+			}
+		}
+		return nil
+	}
+
+	if s := find("mpss_server_requests_total", nil); s == nil || s.value != 7 {
+		t.Errorf("mpss_server_requests_total = %+v, want 7", s)
+	}
+	if s := find("mpss_server_http_requests_total", map[string]string{"endpoint": "optimal", "code": "422"}); s == nil || s.value != 2 {
+		t.Errorf("optimal/422 series = %+v, want 2", s)
+	}
+	if s := find("mpss_server_http_requests_total", map[string]string{"endpoint": "oa", "code": "200"}); s == nil || s.value != 1 {
+		t.Errorf("oa/200 series = %+v, want 1", s)
+	}
+
+	// Histogram invariants: buckets cumulative and monotone in le, the
+	// +Inf bucket equals _count, _sum matches the data.
+	var buckets []promSeries
+	for _, s := range series {
+		if s.name == "mpss_server_request_seconds_bucket" {
+			buckets = append(buckets, s)
+		}
+	}
+	if len(buckets) < 2 {
+		t.Fatalf("got %d bucket series, want several:\n%s", len(buckets), text)
+	}
+	le := func(s promSeries) float64 {
+		if s.labels["le"] == "+Inf" {
+			return math.Inf(1)
+		}
+		v, err := strconv.ParseFloat(s.labels["le"], 64)
+		if err != nil {
+			t.Fatalf("bad le %q", s.labels["le"])
+		}
+		return v
+	}
+	sort.Slice(buckets, func(i, j int) bool { return le(buckets[i]) < le(buckets[j]) })
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].value < buckets[i-1].value {
+			t.Errorf("bucket counts not monotone: le=%s count %v < le=%s count %v",
+				buckets[i].labels["le"], buckets[i].value, buckets[i-1].labels["le"], buckets[i-1].value)
+		}
+	}
+	count := find("mpss_server_request_seconds_count", nil)
+	if count == nil || count.value != 100 {
+		t.Fatalf("_count = %+v, want 100", count)
+	}
+	if inf := buckets[len(buckets)-1]; inf.labels["le"] != "+Inf" || inf.value != count.value {
+		t.Errorf("+Inf bucket %v != _count %v", inf.value, count.value)
+	}
+	sum := find("mpss_server_request_seconds_sum", nil)
+	if want := 100 * 101 / 2.0 / 1000; sum == nil || math.Abs(sum.value-want) > 1e-9 {
+		t.Errorf("_sum = %+v, want %v", sum, want)
+	}
+
+	// The summary quantiles must match the JSON snapshot's numbers for
+	// the same histogram (the acceptance criterion for /metrics vs
+	// /v1/metrics agreement).
+	jsonSum, err := r.HistogramL("server.request_seconds", Label{"endpoint", "optimal"}).Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []struct {
+		label string
+		want  float64
+	}{{"0.5", jsonSum.Median}, {"0.9", jsonSum.P90}, {"0.99", jsonSum.P99}} {
+		s := find("mpss_server_request_seconds_summary", map[string]string{"quantile": q.label})
+		if s == nil || s.value != q.want {
+			t.Errorf("quantile %s = %+v, want %v (JSON snapshot)", q.label, s, q.want)
+		}
+	}
+
+	// Runtime gauges present.
+	if s := find("go_goroutines", nil); s == nil || s.value < 1 {
+		t.Errorf("go_goroutines = %+v, want >= 1", s)
+	}
+	if s := find("mpss_uptime_seconds", nil); s == nil || s.value < 0 {
+		t.Errorf("mpss_uptime_seconds = %+v", s)
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := New()
+	hostile := "a\\b\"c\nd"
+	r.AddL("weird.series", 5, Label{"path", hostile})
+
+	text := expositionText(t, r)
+	series, _ := parseExposition(t, text)
+	for _, s := range series {
+		if s.name == "mpss_weird_series_total" {
+			if s.labels["path"] != hostile {
+				t.Errorf("label round-trip = %q, want %q", s.labels["path"], hostile)
+			}
+			return
+		}
+	}
+	t.Fatalf("series not found in:\n%s", text)
+}
+
+func TestLabeledNameCanonical(t *testing.T) {
+	a := LabeledName("m", Label{"b", "2"}, Label{"a", "1"})
+	b := LabeledName("m", Label{"a", "1"}, Label{"b", "2"})
+	if a != b {
+		t.Errorf("label order changes encoding: %q vs %q", a, b)
+	}
+	if want := `m{a="1",b="2"}`; a != want {
+		t.Errorf("encoding = %q, want %q", a, want)
+	}
+	if got := LabeledName("m"); got != "m" {
+		t.Errorf("no-label encoding = %q, want bare name", got)
+	}
+	name, labels := splitLabeledName(a)
+	if name != "m" || labels != `a="1",b="2"` {
+		t.Errorf("split = %q / %q", name, labels)
+	}
+}
+
+func TestNilRecorderWritePrometheus(t *testing.T) {
+	var r *Recorder
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil recorder wrote %q, err %v", b.String(), err)
+	}
+	// Labeled helpers must be nil-safe too.
+	r.AddL("x", 1, Label{"k", "v"})
+	r.ObserveL("h", 1, Label{"k", "v"})
+	if r.CounterL("x") != nil || r.HistogramL("h") != nil {
+		t.Error("nil recorder handed out non-nil labeled handles")
+	}
+}

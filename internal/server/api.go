@@ -78,15 +78,21 @@ type MinCapResponse struct {
 	Cap float64 `json:"cap"`
 }
 
-// HealthResponse is the body of /v1/healthz.
+// HealthResponse is the body of the probe endpoints. /v1/healthz
+// (liveness) always reports "ok"; /v1/readyz (readiness) reports
+// "ready", "draining" once shutdown began, or "saturated" while the
+// admission queue is full.
 type HealthResponse struct {
-	Status string `json:"status"` // "ok" or "draining"
+	Status string `json:"status"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. RequestID echoes
+// the X-Request-ID of the failing request so an error seen by a client
+// can be joined against the access log and the flight-recorder trace.
 type ErrorResponse struct {
-	Error string `json:"error"`
-	Kind  string `json:"kind"`
+	Error     string `json:"error"`
+	Kind      string `json:"kind"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // StatusClientClosedRequest is the (nginx-convention) status the server
@@ -115,11 +121,17 @@ func errToStatus(err error, clientGone bool) (int, string) {
 	}
 }
 
-// response is a fully rendered HTTP answer: what the worker produces,
-// what the cache stores.
+// response is an HTTP answer: what the worker produces, what the cache
+// stores. Success bodies are rendered eagerly (they are cached and
+// byte-replayed — the determinism the cache test pins). Error answers
+// keep kind/message and render at write time, so every error body —
+// including a cache-replayed 422 — carries the request ID of the
+// request actually being answered.
 type response struct {
-	code int
-	body []byte
+	code    int
+	body    []byte
+	errKind string
+	errMsg  string
 }
 
 // jsonResponse marshals v; a marshal failure (cannot happen for the
@@ -132,9 +144,10 @@ func jsonResponse(code int, v any) response {
 	return response{code: code, body: body}
 }
 
-// errorResponse renders the uniform error body.
+// errorResponse builds the uniform error answer (rendered at write
+// time).
 func errorResponse(code int, kind, msg string) response {
-	return jsonResponse(code, ErrorResponse{Error: msg, Kind: kind})
+	return response{code: code, errKind: kind, errMsg: msg}
 }
 
 // cacheable reports whether a response may be served from the result
@@ -144,10 +157,14 @@ func (r response) cacheable() bool {
 	return r.code == http.StatusOK || r.code == http.StatusUnprocessableEntity
 }
 
-// write sends the response. The JSON content type matches every body
-// this server produces.
-func (r response) write(w http.ResponseWriter) {
+// write sends the response, stamping the request ID into error bodies.
+// The JSON content type matches every body this server produces.
+func (r response) write(w http.ResponseWriter, reqID string) {
+	body := r.body
+	if r.errKind != "" {
+		body, _ = json.Marshal(ErrorResponse{Error: r.errMsg, Kind: r.errKind, RequestID: reqID})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(r.code)
-	w.Write(r.body)
+	w.Write(body)
 }

@@ -1,0 +1,118 @@
+package server
+
+// The flight recorder keeps the last N and the N slowest request span
+// trees in two bounded rings, so "what just happened" and "what was
+// slow" survive long after the requests themselves — without the
+// unbounded growth a full trace store would mean for a daemon serving
+// millions of requests. GET /v1/debug/traces exposes both rings.
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mpss/internal/obs"
+)
+
+// TraceEntry is one recorded request: identity, outcome, timing and the
+// span tree the request produced (request → solve children, with the
+// request ID as a span tag).
+type TraceEntry struct {
+	RequestID string           `json:"request_id"`
+	Endpoint  string           `json:"endpoint"`
+	Status    int              `json:"status"`
+	Start     time.Time        `json:"start"`
+	Seconds   float64          `json:"seconds"`
+	Trace     obs.SpanSnapshot `json:"trace"`
+}
+
+// TracesResponse is the body of GET /v1/debug/traces.
+type TracesResponse struct {
+	Total   uint64       `json:"total"`   // requests seen since boot
+	Recent  []TraceEntry `json:"recent"`  // most recent first
+	Slowest []TraceEntry `json:"slowest"` // slowest first
+}
+
+// flightRecorder is safe for concurrent use. A nil *flightRecorder is
+// the disabled no-op (mirroring the obs conventions).
+type flightRecorder struct {
+	mu     sync.Mutex
+	size   int
+	total  uint64
+	recent []TraceEntry // ring; next is the oldest slot
+	next   int
+	slow   []TraceEntry // sorted by Seconds descending, ≤ size entries
+}
+
+// newFlightRecorder returns a recorder keeping the size most recent and
+// size slowest requests; size <= 0 disables recording (nil).
+func newFlightRecorder(size int) *flightRecorder {
+	if size <= 0 {
+		return nil
+	}
+	return &flightRecorder{size: size}
+}
+
+// startSpan opens the per-request span tree: a fresh single-request
+// recorder, so flight traces are bounded per request and independent of
+// the shared recorder's global span cap. Returns the nil no-op span
+// when the flight recorder is disabled.
+func (f *flightRecorder) startSpan(name string) *obs.Span {
+	if f == nil {
+		return nil
+	}
+	return obs.New().StartSpan(name)
+}
+
+// record stores one finished request, snapshotting its span tree.
+func (f *flightRecorder) record(e TraceEntry, span *obs.Span) {
+	if f == nil {
+		return
+	}
+	if rec := span.Recorder(); rec != nil {
+		if trace := rec.Snapshot().Trace; len(trace) > 0 {
+			e.Trace = trace[0]
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.total++
+	if len(f.recent) < f.size {
+		f.recent = append(f.recent, e)
+		f.next = len(f.recent) % f.size
+	} else {
+		f.recent[f.next] = e
+		f.next = (f.next + 1) % f.size
+	}
+	// Insert into the slowest ring if it qualifies (sorted descending).
+	if len(f.slow) < f.size || e.Seconds > f.slow[len(f.slow)-1].Seconds {
+		i := sort.Search(len(f.slow), func(i int) bool { return f.slow[i].Seconds < e.Seconds })
+		f.slow = append(f.slow, TraceEntry{})
+		copy(f.slow[i+1:], f.slow[i:])
+		f.slow[i] = e
+		if len(f.slow) > f.size {
+			f.slow = f.slow[:f.size]
+		}
+	}
+}
+
+// snapshot returns the current rings: recent (most recent first) and
+// slowest (slowest first).
+func (f *flightRecorder) snapshot() TracesResponse {
+	if f == nil {
+		return TracesResponse{Recent: []TraceEntry{}, Slowest: []TraceEntry{}}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	recent := make([]TraceEntry, 0, len(f.recent))
+	for i := 0; i < len(f.recent); i++ {
+		// Walk backwards from the newest slot.
+		idx := (f.next - 1 - i + 2*len(f.recent)) % len(f.recent)
+		recent = append(recent, f.recent[idx])
+	}
+	return TracesResponse{
+		Total:   f.total,
+		Recent:  recent,
+		Slowest: append([]TraceEntry(nil), f.slow...),
+	}
+}

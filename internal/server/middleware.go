@@ -1,0 +1,151 @@
+package server
+
+// This file is the HTTP middleware: per-request identity, structured
+// access logging, and the labeled per-endpoint telemetry series. Every
+// route is wrapped by Server.instrument with a static endpoint name, so
+// the label cardinality is bounded by the route table no matter what
+// clients send (DESIGN.md §11).
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mpss/internal/obs"
+)
+
+// ctxKey is the private context-key namespace of this package.
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeySpan
+)
+
+// RequestIDFromContext returns the request ID the middleware assigned
+// to this request ("" outside a server request).
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// spanFromContext returns the per-request trace span (nil-safe: obs
+// spans are usable when nil, so handlers never check).
+func spanFromContext(ctx context.Context) *obs.Span {
+	sp, _ := ctx.Value(ctxKeySpan).(*obs.Span)
+	return sp
+}
+
+// requestIDHeader is the canonical request-identity header, honored
+// inbound and echoed on every response.
+const requestIDHeader = "X-Request-ID"
+
+// newRequestID generates a 16-hex-char random request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to
+		// a constant rather than take the serving path down.
+		return "00000000deadbeef"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID accepts inbound IDs that are printable, reasonably
+// short and free of characters that could corrupt log lines or headers.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-', r == '_', r == '.', r == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// statusWriter captures the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps one route with the full request pipeline: request-ID
+// assignment (inbound X-Request-ID honored when well-formed), response
+// header echo, per-endpoint × per-status labeled counters, per-endpoint
+// latency histograms, the structured access log, and the flight
+// recorder entry with its span tree.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(requestIDHeader)
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+
+		span := s.flight.startSpan("request " + endpoint)
+		span.SetTag("request_id", id)
+		span.SetTag("endpoint", endpoint)
+
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
+		ctx = context.WithValue(ctx, ctxKeySpan, span)
+
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		span.End()
+
+		elapsed := time.Since(start)
+		endpointL := obs.Label{Key: "endpoint", Value: endpoint}
+		s.rec.AddL("server.http_requests", 1,
+			endpointL, obs.Label{Key: "code", Value: strconv.Itoa(sw.status)})
+		s.rec.ObserveL("server.http_request_seconds", elapsed.Seconds(), endpointL)
+
+		s.flight.record(TraceEntry{
+			RequestID: id,
+			Endpoint:  endpoint,
+			Status:    sw.status,
+			Start:     start.UTC(),
+			Seconds:   elapsed.Seconds(),
+		}, span)
+
+		s.log.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", endpoint),
+			slog.Int("status", sw.status),
+			slog.Int("bytes", sw.bytes),
+			slog.Float64("duration_ms", float64(elapsed)/float64(time.Millisecond)),
+			slog.String("remote", r.RemoteAddr),
+		)
+	}
+}

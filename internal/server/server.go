@@ -17,6 +17,18 @@
 // recover boundary. Shutdown drains: new work is rejected with 503
 // while in-flight solves run to completion.
 //
+// Every route runs through the instrument middleware (middleware.go):
+// requests get an X-Request-ID (inbound honored, else generated) that
+// is echoed on the response, threaded through the solver context,
+// stamped into error bodies, logged in the structured JSON access log,
+// and tagged on the flight-recorder span tree — one join key across
+// logs, metrics and traces. Telemetry is exposed three ways: the JSON
+// snapshot at /v1/metrics, the Prometheus text exposition at /metrics
+// (per-endpoint × per-status counters, latency histograms with
+// cumulative buckets and p50/p90/p99 quantiles, Go runtime gauges), and
+// the flight recorder at /v1/debug/traces (bounded rings of the most
+// recent and the slowest request span trees).
+//
 // Endpoints:
 //
 //	POST /v1/solve/optimal  offline optimal schedule (optionally exact)
@@ -25,15 +37,21 @@
 //	POST /v1/solve/atcap    fixed-frequency schedule at a speed cap
 //	POST /v1/feasible       one feasibility probe at a speed cap
 //	POST /v1/mincap         minimum feasible speed cap
-//	GET  /v1/healthz        liveness ("ok" / "draining")
+//	GET  /v1/healthz        liveness (always "ok" while the process serves)
+//	GET  /v1/readyz         readiness ("ready" / "draining" / "saturated")
 //	GET  /v1/metrics        observability snapshot (counters, histograms)
+//	GET  /metrics           Prometheus text exposition (version 0.0.4)
+//	GET  /v1/debug/traces   flight recorder (recent + slowest span trees)
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
@@ -70,6 +88,14 @@ type Config struct {
 	// "obs.spans_dropped"), keeping a long-lived daemon's memory
 	// bounded. Default 4096; negative means unlimited.
 	TraceSpanLimit int
+	// Logger receives the structured access/error log records (one JSON
+	// line per request when built with slog.NewJSONHandler). Defaults to
+	// a discarding logger.
+	Logger *slog.Logger
+	// FlightEntries sizes the flight recorder: the server retains the
+	// FlightEntries most recent and FlightEntries slowest request span
+	// trees for /v1/debug/traces. Default 64; negative disables.
+	FlightEntries int
 }
 
 func (c *Config) applyDefaults() {
@@ -97,15 +123,27 @@ func (c *Config) applyDefaults() {
 	if c.TraceSpanLimit > 0 {
 		c.Recorder.LimitTrace(c.TraceSpanLimit)
 	}
+	if c.Logger == nil {
+		// A level above every named level: Enabled is always false, so
+		// the default logger costs one comparison per request.
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
+	if c.FlightEntries == 0 {
+		c.FlightEntries = 64
+	}
 }
 
 // task is one admitted solve request: the worker executes exec on its
-// session and closes done.
+// session and closes done. enqueued/waited measure time spent in the
+// admission queue (waited is written by the worker before done closes,
+// read by the handler after — ordered by the channel close).
 type task struct {
-	ctx  context.Context
-	exec func(sess *session) response
-	resp response
-	done chan struct{}
+	ctx      context.Context
+	exec     func(sess *session) response
+	resp     response
+	done     chan struct{}
+	enqueued time.Time
+	waited   time.Duration
 }
 
 // session is the per-worker solver state: one mpss.Solver whose arenas
@@ -122,11 +160,13 @@ var testHookTaskStart func()
 // Server is the scheduling service. Construct with New, serve it as an
 // http.Handler, stop it with Shutdown. Safe for concurrent use.
 type Server struct {
-	cfg   Config
-	rec   *obs.Recorder
-	mux   *http.ServeMux
-	cache *resultCache
-	queue chan *task
+	cfg    Config
+	rec    *obs.Recorder
+	log    *slog.Logger
+	mux    *http.ServeMux
+	cache  *resultCache
+	flight *flightRecorder
+	queue  chan *task
 
 	workers  sync.WaitGroup // worker goroutines
 	inflight sync.WaitGroup // admitted, not yet answered tasks
@@ -139,20 +179,24 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.applyDefaults()
 	s := &Server{
-		cfg:   cfg,
-		rec:   cfg.Recorder,
-		mux:   http.NewServeMux(),
-		cache: newResultCache(cfg.CacheEntries),
-		queue: make(chan *task, cfg.QueueDepth),
+		cfg:    cfg,
+		rec:    cfg.Recorder,
+		log:    cfg.Logger,
+		mux:    http.NewServeMux(),
+		cache:  newResultCache(cfg.CacheEntries),
+		flight: newFlightRecorder(cfg.FlightEntries),
+		queue:  make(chan *task, cfg.QueueDepth),
 	}
-	s.mux.HandleFunc("/v1/solve/optimal", s.solveHandler("optimal"))
-	s.mux.HandleFunc("/v1/solve/oa", s.solveHandler("oa"))
-	s.mux.HandleFunc("/v1/solve/avr", s.solveHandler("avr"))
-	s.mux.HandleFunc("/v1/solve/atcap", s.solveHandler("atcap"))
-	s.mux.HandleFunc("/v1/feasible", s.solveHandler("feasible"))
-	s.mux.HandleFunc("/v1/mincap", s.solveHandler("mincap"))
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	for _, ep := range [...]string{"optimal", "oa", "avr", "atcap"} {
+		s.mux.HandleFunc("/v1/solve/"+ep, s.instrument(ep, s.solveHandler(ep)))
+	}
+	s.mux.HandleFunc("/v1/feasible", s.instrument("feasible", s.solveHandler("feasible")))
+	s.mux.HandleFunc("/v1/mincap", s.instrument("mincap", s.solveHandler("mincap")))
+	s.mux.HandleFunc("/v1/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/v1/readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.HandleFunc("/v1/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/metrics", s.instrument("prometheus", s.handlePrometheus))
+	s.mux.HandleFunc("/v1/debug/traces", s.instrument("traces", s.handleTraces))
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -163,6 +207,10 @@ func New(cfg Config) *Server {
 // Recorder returns the server's observability recorder (the /v1/metrics
 // source).
 func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Config returns the server's resolved configuration (defaults applied),
+// so callers can report what the daemon actually runs with.
+func (s *Server) Config() Config { return s.cfg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -181,6 +229,7 @@ func (s *Server) worker() {
 		if testHookTaskStart != nil {
 			testHookTaskStart()
 		}
+		t.waited = time.Since(t.enqueued)
 		// A task whose client is already gone (or whose deadline passed
 		// while queued) is not worth starting.
 		if err := t.ctx.Err(); err != nil {
@@ -261,12 +310,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // solveHandler builds the handler for one solve endpoint: decode,
 // consult the cache, admit into the queue, wait for the worker, cache
-// and reply.
+// and reply. The instrument middleware has already assigned the request
+// ID and opened the request span by the time this runs.
 func (s *Server) solveHandler(kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := RequestIDFromContext(r.Context())
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			errorResponse(http.StatusMethodNotAllowed, "method_not_allowed", "POST required").write(w)
+			errorResponse(http.StatusMethodNotAllowed, "method_not_allowed", "POST required").write(w, reqID)
 			return
 		}
 		s.rec.Add("server.requests", 1)
@@ -276,13 +327,14 @@ func (s *Server) solveHandler(kind string) http.HandlerFunc {
 		var req SolveRequest
 		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			errorResponse(http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request: %v", err)).write(w)
+			errorResponse(http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request: %v", err)).write(w, reqID)
 			return
 		}
 		key := requestKey(kind, &req)
 		if resp, ok := s.cache.Get(key); ok {
 			s.rec.Add("server.cache_hits", 1)
-			resp.write(w)
+			spanFromContext(r.Context()).SetTag("cache", "hit")
+			resp.write(w, reqID)
 			return
 		}
 		s.rec.Add("server.cache_misses", 1)
@@ -299,29 +351,39 @@ func (s *Server) solveHandler(kind string) http.HandlerFunc {
 		var span *obs.Span
 		if s.cfg.TraceRequests {
 			span = s.rec.StartSpan("request " + kind)
+			span.SetTag("request_id", reqID)
 			defer span.End()
 		}
 
 		t := &task{
-			ctx:  ctx,
-			exec: func(sess *session) response { return s.solve(ctx, kind, &req, sess, r) },
-			done: make(chan struct{}),
+			ctx: ctx,
+			exec: func(sess *session) response {
+				// The solve runs as a child of the flight-recorder request
+				// span, so queue wait and solve time separate in the trace.
+				solveSpan := spanFromContext(ctx).StartSpan("solve " + kind)
+				defer solveSpan.End()
+				return s.solve(ctx, kind, &req, sess, r)
+			},
+			done:     make(chan struct{}),
+			enqueued: time.Now(),
 		}
 		if !s.admit(t) {
 			s.rec.Add("server.rejected", 1)
-			errorResponse(http.StatusServiceUnavailable, "overloaded", "solver queue full or server draining").write(w)
+			errorResponse(http.StatusServiceUnavailable, "overloaded", "solver queue full or server draining").write(w, reqID)
 			return
 		}
 		// The worker always answers: a canceled context unwinds the solve
 		// at its next phase/round boundary, so this wait is bounded.
 		<-t.done
 		s.inflight.Done()
+		s.rec.Observe("server.queue_wait_seconds", t.waited.Seconds())
 		span.Add("status", int64(t.resp.code))
+		spanFromContext(r.Context()).SetValue("queue_wait_seconds", t.waited.Seconds())
 
 		if t.resp.cacheable() {
 			s.cache.Put(key, t.resp)
 		}
-		t.resp.write(w)
+		t.resp.write(w, reqID)
 	}
 }
 
@@ -424,26 +486,73 @@ func (s *Server) solve(ctx context.Context, kind string, req *SolveRequest, sess
 	}
 }
 
-// handleHealthz answers liveness probes: 200 "ok" while accepting, 503
-// "draining" once Shutdown began.
+// handleHealthz answers liveness probes: 200 "ok" for as long as the
+// process can serve HTTP at all — a draining server is still alive, so
+// an orchestrator must not kill it. Readiness (drain/saturation) lives
+// on /v1/readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	jsonResponse(http.StatusOK, HealthResponse{Status: "ok"}).write(w, RequestIDFromContext(r.Context()))
+}
+
+// handleReadyz answers readiness probes: a load balancer should stop
+// routing here when the server is draining (Shutdown began) or the
+// admission queue is saturated (the next solve would be rejected 503
+// anyway).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	reqID := RequestIDFromContext(r.Context())
 	s.mu.RLock()
 	draining := s.draining
 	s.mu.RUnlock()
-	if draining {
-		jsonResponse(http.StatusServiceUnavailable, HealthResponse{Status: "draining"}).write(w)
-		return
+	switch {
+	case draining:
+		jsonResponse(http.StatusServiceUnavailable, HealthResponse{Status: "draining"}).write(w, reqID)
+	case len(s.queue) == cap(s.queue):
+		jsonResponse(http.StatusServiceUnavailable, HealthResponse{Status: "saturated"}).write(w, reqID)
+	default:
+		jsonResponse(http.StatusOK, HealthResponse{Status: "ready"}).write(w, reqID)
 	}
-	jsonResponse(http.StatusOK, HealthResponse{Status: "ok"}).write(w)
 }
 
-// handleMetrics dumps the recorder snapshot — service counters
+// handleMetrics dumps the recorder snapshot as JSON — service counters
 // (server.requests, server.cache_hits, server.rejected,
-// server.canceled) alongside the solver counters every worker session
-// recorded.
+// server.canceled), the labeled per-endpoint series, and the solver
+// counters every worker session recorded.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.rec.WriteJSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// handlePrometheus renders the same recorder in the Prometheus text
+// exposition format for scrapers (see internal/obs prom.go for the
+// metric naming and the histogram/summary encoding).
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.rec.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleTraces serves the flight recorder: the bounded rings of most
+// recent and slowest request span trees.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	jsonResponse(http.StatusOK, s.flight.snapshot()).write(w, RequestIDFromContext(r.Context()))
+}
+
+// DebugHandler returns the opt-in debug surface meant for a separate,
+// non-public listener: net/http/pprof (CPU/heap/goroutine profiles),
+// the flight recorder and both metric encodings. cmd/mpss-served binds
+// it to -debug-addr.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/v1/debug/traces", s.handleTraces)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics", s.handlePrometheus)
+	return mux
 }

@@ -494,15 +494,24 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		shutdownDone <- s.Shutdown(ctx)
 	}()
 
-	// Draining: healthz flips, new work is rejected.
+	// Draining: readiness flips (liveness stays 200), new work is
+	// rejected.
 	waitFor(t, func() bool {
-		resp, err := http.Get(ts.URL + "/v1/healthz")
+		resp, err := http.Get(ts.URL + "/v1/readyz")
 		if err != nil {
 			return false
 		}
 		resp.Body.Close()
 		return resp.StatusCode == http.StatusServiceUnavailable
 	})
+	liveResp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveResp.Body.Close()
+	if liveResp.StatusCode != http.StatusOK {
+		t.Errorf("healthz during drain: status %d, want 200 (liveness)", liveResp.StatusCode)
+	}
 	code, _ := post(t, ts.URL+"/v1/solve/optimal", req)
 	if code != http.StatusServiceUnavailable {
 		t.Errorf("request during drain: status %d, want 503", code)

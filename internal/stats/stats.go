@@ -10,12 +10,14 @@ import (
 	"sort"
 )
 
-// Summary describes a sample.
+// Summary describes a sample. Median is the 50th percentile; P90, P95
+// and P99 are the upper-tail percentiles latency reporting needs.
 type Summary struct {
 	N           int
 	Mean, Std   float64
 	Min, Max    float64
 	Median, P95 float64
+	P90, P99    float64
 }
 
 // Summarize computes the Summary of the sample. It returns an error on an
@@ -51,7 +53,9 @@ func Summarize(sample []float64) (Summary, error) {
 		Min:    sorted[0],
 		Max:    sorted[n-1],
 		Median: Percentile(sorted, 0.5),
+		P90:    Percentile(sorted, 0.90),
 		P95:    Percentile(sorted, 0.95),
+		P99:    Percentile(sorted, 0.99),
 	}, nil
 }
 
@@ -84,7 +88,9 @@ func Merge(a, b Summary) Summary {
 		Min:    math.Min(a.Min, b.Min),
 		Max:    math.Max(a.Max, b.Max),
 		Median: (a.Median*na + b.Median*nb) / n,
+		P90:    (a.P90*na + b.P90*nb) / n,
 		P95:    (a.P95*na + b.P95*nb) / n,
+		P99:    (a.P99*na + b.P99*nb) / n,
 	}
 }
 

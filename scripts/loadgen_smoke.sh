@@ -1,0 +1,104 @@
+#!/bin/sh
+# Load-generator smoke test: boot mpss-served, point mpss-loadgen at it
+# for a short open-loop burst, and assert the SLO report shows real
+# traffic (non-zero throughput, zero transport/5xx failures) while the
+# Prometheus endpoint stays parseable under load. This is the cheap CI
+# stand-in for a production scrape-while-loaded check; the in-process
+# exposition-format validation lives in internal/obs/prom_test.go.
+#
+# Run from the repository root (make loadgen-smoke does).
+set -u
+
+GO=${GO:-go}
+CURL=${CURL:-curl}
+tmp=$(mktemp -d)
+fail=0
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+if ! command -v "$CURL" >/dev/null 2>&1; then
+    echo "loadgen-smoke: skipped ($CURL not available)" >&2
+    exit 0
+fi
+
+if ! $GO build -o "$tmp/mpss-served" ./cmd/mpss-served ||
+    ! $GO build -o "$tmp/mpss-loadgen" ./cmd/mpss-loadgen; then
+    echo "loadgen-smoke: build failed" >&2
+    exit 1
+fi
+
+"$tmp/mpss-served" -addr 127.0.0.1:0 -workers 2 -cache 64 2>"$tmp/served.err" &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/.*"msg":"listening".*"addr":"\([^"]*\)".*/\1/p' "$tmp/served.err" | head -n 1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "loadgen-smoke: daemon died before readiness:" >&2
+        sed 's/^/    /' "$tmp/served.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "loadgen-smoke: no readiness record within 10s" >&2
+    exit 1
+fi
+
+# Short open-loop run. A generous p99 target keeps the smoke about
+# wiring, not machine speed; the error-rate budget of zero is the real
+# assertion (no 5xx, no transport failures against a healthy daemon).
+if ! "$tmp/mpss-loadgen" -url "http://$addr" -duration 2s -rate 80 \
+    -slo-p99 5s -slo-error-rate 0 -o "$tmp/report.json"; then
+    echo "loadgen-smoke: loadgen SLO run failed:" >&2
+    sed 's/^/    /' "$tmp/report.json" 2>/dev/null >&2
+    fail=1
+fi
+
+# The report must show real traffic...
+if ! grep -q '"completed": *[1-9]' "$tmp/report.json"; then
+    echo "loadgen-smoke: no completed requests in report" >&2
+    fail=1
+fi
+# ...and no server-side failures.
+if grep -q '"5[0-9][0-9]": *[1-9]' "$tmp/report.json"; then
+    echo "loadgen-smoke: 5xx responses under load:" >&2
+    sed 's/^/    /' "$tmp/report.json" >&2
+    fail=1
+fi
+
+# The scrape endpoint must survive the load with valid exposition text:
+# the request-counter series and monotone histogram data are present.
+$CURL -s -o "$tmp/prom" "http://$addr/metrics"
+if ! grep -q '^mpss_server_http_requests_total{' "$tmp/prom"; then
+    echo "loadgen-smoke: /metrics lacks per-endpoint request counters" >&2
+    fail=1
+fi
+if ! grep -q '^mpss_server_http_request_seconds_bucket{' "$tmp/prom"; then
+    echo "loadgen-smoke: /metrics lacks request latency buckets" >&2
+    fail=1
+fi
+
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "loadgen-smoke: SIGTERM exit $rc, want 0:" >&2
+    sed 's/^/    /' "$tmp/served.err" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "loadgen-smoke: FAIL" >&2
+    exit 1
+fi
+echo "loadgen-smoke: ok"

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Daemon smoke test: build mpss-served, boot it on an ephemeral port,
 # exercise a solve (twice, so the second hits the result cache), the
-# error mapping, /v1/metrics and /v1/healthz, then SIGTERM it and
-# require a clean drain (exit 0). Complements the in-process httptest
-# suite in internal/server by covering the real binary: flag parsing,
-# the readiness line, signal handling and process exit codes.
+# error mapping, /v1/metrics, /metrics (Prometheus), the liveness and
+# readiness probes, then SIGTERM it and require a clean drain (exit 0).
+# Complements the in-process httptest suite in internal/server by
+# covering the real binary: flag parsing, the readiness record, signal
+# handling and process exit codes.
 #
 # Run from the repository root (make serve-smoke does).
 set -u
@@ -34,12 +35,12 @@ fi
 "$tmp/mpss-served" -addr 127.0.0.1:0 -workers 2 -cache 64 2>"$tmp/served.err" &
 pid=$!
 
-# The readiness line "mpss-served: listening on HOST:PORT" is the
+# The structured readiness record {"msg":"listening","addr":...} is the
 # documented boot signal; wait for it and take the address from it.
 addr=""
 i=0
 while [ $i -lt 100 ]; do
-    addr=$(sed -n 's/^mpss-served: listening on //p' "$tmp/served.err")
+    addr=$(sed -n 's/.*"msg":"listening".*"addr":"\([^"]*\)".*/\1/p' "$tmp/served.err" | head -n 1)
     [ -n "$addr" ] && break
     if ! kill -0 "$pid" 2>/dev/null; then
         echo "serve-smoke: daemon died before readiness:" >&2
@@ -50,7 +51,7 @@ while [ $i -lt 100 ]; do
     i=$((i + 1))
 done
 if [ -z "$addr" ]; then
-    echo "serve-smoke: no readiness line within 10s" >&2
+    echo "serve-smoke: no readiness record within 10s" >&2
     exit 1
 fi
 base="http://$addr"
@@ -79,6 +80,7 @@ req() {
 inst='{"m":2,"jobs":[{"id":1,"release":0,"deadline":4,"work":8},{"id":2,"release":1,"deadline":5,"work":2}]}'
 
 req "healthz" 200 '"ok"' /v1/healthz
+req "readyz" 200 '"ready"' /v1/readyz
 req "solve" 200 '"energy"' /v1/solve/optimal "$inst"
 req "solve again" 200 '"energy"' /v1/solve/optimal "$inst"
 req "oa" 200 '"bound"' /v1/solve/oa "$inst"
@@ -90,6 +92,33 @@ req "metrics" 200 'server.cache_hits' /v1/metrics
 if ! grep -q '"server.cache_hits": *[1-9]' "$tmp/body"; then
     echo "serve-smoke: repeated solve did not hit the cache:" >&2
     grep -o '"server\.[a-z_]*": *[0-9]*' "$tmp/body" | sed 's/^/    /' >&2
+    fail=1
+fi
+
+# Prometheus exposition: the scrape endpoint must serve the text format
+# with the right media type and carry the per-endpoint request counters.
+ctype=$($CURL -s -o "$tmp/prom" -w '%{content_type}' "$base/metrics")
+case "$ctype" in
+    text/plain*version=0.0.4*) ;;
+    *)
+        echo "serve-smoke: /metrics content type \"$ctype\", want text/plain; version=0.0.4" >&2
+        fail=1
+        ;;
+esac
+if ! grep -q '^mpss_server_http_requests_total{code="200",endpoint="optimal"}' "$tmp/prom"; then
+    echo "serve-smoke: /metrics lacks the optimal endpoint request counter" >&2
+    fail=1
+fi
+if ! grep -q '_bucket{.*le="+Inf"' "$tmp/prom"; then
+    echo "serve-smoke: /metrics lacks histogram +Inf buckets" >&2
+    fail=1
+fi
+
+# Every response carries a request ID; a caller-supplied one is echoed.
+$CURL -s -o /dev/null -D "$tmp/hdrs" -H 'X-Request-ID: smoke-42' "$base/v1/healthz"
+if ! grep -qi '^x-request-id: *smoke-42' "$tmp/hdrs"; then
+    echo "serve-smoke: X-Request-ID not echoed:" >&2
+    sed 's/^/    /' "$tmp/hdrs" >&2
     fail=1
 fi
 
