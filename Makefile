@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke cli-smoke serve-smoke loadgen-smoke fuzz-smoke clean
+.PHONY: all build test vet race verify bench bench-smoke cli-smoke serve-smoke loadgen-smoke fuzz-smoke contract-smoke clean
 
 all: verify
 
@@ -41,6 +41,14 @@ loadgen-smoke:
 # catch a reintroduced panic path, cheap enough for every CI run.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolvePipeline -fuzztime 20s .
+
+# contract-smoke runs the contracted-vs-raw differential solves under
+# the race detector: the contraction pass shares per-phase state with
+# the warm engine and the parallel flow dispatch, so one racy write
+# there would silently corrupt the active-set runs. -short keeps it to
+# the small sizes.
+contract-smoke:
+	$(GO) test -race -short -run 'TestContractedMatchesRaw|TestTwoTierCap' ./internal/opt/
 
 verify: build vet test race cli-smoke serve-smoke loadgen-smoke
 

@@ -41,6 +41,8 @@ func main() {
 		n          = flag.Int("n", 0, "jobs per instance (0 = default)")
 		workers    = flag.Int("workers", 0, "experiments run concurrently (0 = GOMAXPROCS, 1 = sequential)")
 		parallel   = flag.Int("parallel", 1, "flow-solver workers inside each solve (<=1 sequential)")
+		contract   = flag.Bool("contract", true, "interval contraction in the offline solves (off = raw-graph A/B baseline)")
+		approx     = flag.Bool("approx", true, "approximate first tier for cap searches (off = raw probes only)")
 		csvDir     = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
 		metricsOut = flag.String("metrics", "", "collect per-experiment solver metrics; print summaries and write them as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
@@ -63,6 +65,8 @@ func main() {
 		cfg.N = *n
 	}
 	cfg.Parallelism = *parallel
+	cfg.NoContraction = !*contract
+	cfg.NoApprox = !*approx
 
 	if *csvDir != "" {
 		check(os.MkdirAll(*csvDir, 0o755))

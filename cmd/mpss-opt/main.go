@@ -28,6 +28,7 @@ func main() {
 		alpha      = flag.Float64("alpha", 3, "power function exponent (P(s) = s^alpha)")
 		exact      = flag.Bool("exact", false, "use exact rational arithmetic for phase decisions")
 		parallel   = flag.Int("parallel", 1, "flow-solver workers for large cold solves (<=1 sequential; ignored with -exact)")
+		contract   = flag.Bool("contract", true, "merge equal-active-set interval runs before each phase solve (bit-identical results; off = A/B baseline)")
 		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart")
 		jsonOut    = flag.String("json", "", "write the schedule as JSON to this file")
 		svgOut     = flag.String("svg", "", "write the schedule as an SVG figure to this file")
@@ -68,7 +69,8 @@ func main() {
 	if *exact {
 		solve = mpss.OptimalScheduleExact
 	}
-	res, err := solve(in, mpss.WithRecorder(rec), mpss.WithParallelism(*parallel))
+	res, err := solve(in, mpss.WithRecorder(rec), mpss.WithParallelism(*parallel),
+		mpss.WithContraction(*contract))
 	if err != nil {
 		fail(err)
 	}

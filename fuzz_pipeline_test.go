@@ -30,6 +30,14 @@ func FuzzSolvePipeline(f *testing.F) {
 	// so the body's second solve routes through the parallel push-relabel
 	// dispatch (see testdata/fuzz/FuzzSolvePipeline/parallel-dispatch).
 	f.Add(int8(3), 0.0, 6.0, 9.0, 1.0, 7.0, 4.0, 2.0, 8.0, 5.0)
+	// Grid-aligned windows: two jobs share a window and the third spans
+	// both, so multiple atomic intervals carry identical active sets and
+	// the solve exercises the interval-contraction path and its raw
+	// differential below.
+	f.Add(int8(2), 0.0, 4.0, 6.0, 0.0, 4.0, 3.0, 0.0, 8.0, 5.0)
+	// Nested aligned windows with a shared left endpoint — contraction
+	// plus multi-phase structure.
+	f.Add(int8(2), 0.0, 2.0, 5.0, 0.0, 4.0, 2.0, 0.0, 8.0, 1.0)
 
 	f.Fuzz(func(t *testing.T, m int8, r1, d1, w1, r2, d2, w2, r3, d3, w3 float64) {
 		in := &Instance{M: int(m), Jobs: []Job{
@@ -66,6 +74,33 @@ func FuzzSolvePipeline(f *testing.F) {
 			if sane(in) {
 				if verr := Verify(res.Schedule, in); verr != nil {
 					t.Errorf("OptimalSchedule: infeasible schedule for valid instance: %v", verr)
+				}
+			}
+		}
+
+		// Contraction must be output-invisible on every accepted
+		// instance: re-solve on the raw interval graph and demand the
+		// bit-identical phase speeds. The parallelism toggle is derived
+		// from the input bits so the fuzzer also drives the raw path
+		// through both engines.
+		if err == nil && sane(in) {
+			rawOpts := []SolveOption{WithContraction(false)}
+			if math.Float64bits(w1)&1 == 1 {
+				rawOpts = append(rawOpts, WithParallelism(2))
+			}
+			rres, rerr := OptimalSchedule(in, rawOpts...)
+			check("OptimalSchedule(raw)", rerr)
+			if rerr == nil {
+				if len(rres.Phases) != len(res.Phases) {
+					t.Errorf("contraction changed phase count: %d vs %d",
+						len(res.Phases), len(rres.Phases))
+				} else {
+					for i := range res.Phases {
+						if res.Phases[i].Speed != rres.Phases[i].Speed {
+							t.Errorf("contraction changed phase %d speed: %v vs %v",
+								i, res.Phases[i].Speed, rres.Phases[i].Speed)
+						}
+					}
 				}
 			}
 		}

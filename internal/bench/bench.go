@@ -24,6 +24,7 @@ import (
 	"text/tabwriter"
 
 	"mpss/internal/obs"
+	"mpss/internal/opt"
 )
 
 // Config scales the whole suite. The zero value is replaced by Defaults.
@@ -41,7 +42,20 @@ type Config struct {
 	// experiments that exercise instrumented code paths. cmd/mpss-bench
 	// installs a fresh recorder per experiment and renders the snapshots.
 	Recorder *obs.Recorder
+
+	// NoContraction disables interval contraction in every offline solve
+	// the experiments run (the A/B lever behind mpss-bench -contract=false).
+	// Results are bit-identical either way; only the runtime changes.
+	NoContraction bool
+
+	// NoApprox disables the approximate first tier of the cap searches
+	// (mpss-bench -approx=false). The returned caps do not change.
+	NoApprox bool
 }
+
+// contractOpt is the contraction toggle every experiment passes to
+// opt.Schedule, so one Config switch A/Bs the whole suite.
+func (c Config) contractOpt() opt.Option { return opt.WithContraction(!c.NoContraction) }
 
 // Defaults returns the configuration used by EXPERIMENTS.md.
 func Defaults() Config { return Config{Seeds: 5, N: 12} }

@@ -49,11 +49,15 @@ func E13(cfg Config) ([]E13Row, error) {
 					return nil, err
 				}
 				optRes, err := opt.Schedule(in,
-					opt.WithParallelism(cfg.Parallelism), opt.WithRecorder(cfg.Recorder))
+					opt.WithParallelism(cfg.Parallelism), opt.WithRecorder(cfg.Recorder),
+					cfg.contractOpt())
 				if err != nil {
 					return nil, fmt.Errorf("E13 %s seed=%d: %w", gname, seed, err)
 				}
-				var capOpts []opt.CapOption
+				capOpts := []opt.CapOption{
+					opt.WithCapContraction(!cfg.NoContraction),
+					opt.WithApproxFirst(!cfg.NoApprox),
+				}
 				if cfg.Parallelism > 1 {
 					capOpts = append(capOpts, opt.WithProbeParallelism(cfg.Parallelism))
 				}

@@ -194,6 +194,36 @@ func (g *Graph) Reset(n int) {
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.nv }
 
+// Grow pre-sizes the edge arena, the CSR index and the per-vertex
+// scratch for a graph that is about to receive up to ne AddEdge calls
+// over nv vertices. Callers that know the final shape in advance — the
+// contracted feasibility probes, whose node and edge counts are fixed
+// across an entire cap search — use it so that no AddEdge or build call
+// reallocates mid-construction, regardless of how small the pooled
+// graph they drew happened to be. Growing never discards edges already
+// added; a plain Reset+AddEdge sequence behaves identically, just with
+// amortized growth instead.
+func (g *Graph) Grow(nv, ne int) {
+	if cap(g.edges) < 2*ne {
+		edges := make([]edge, len(g.edges), 2*ne)
+		copy(edges, g.edges)
+		g.edges = edges
+	}
+	if cap(g.adjLst) < 2*ne {
+		lst := make([]int32, len(g.adjLst), 2*ne)
+		copy(lst, g.adjLst)
+		g.adjLst = lst
+	}
+	if n := max(nv, g.nv); n > 0 {
+		if cap(g.adjOff) < n+1 {
+			off := make([]int32, len(g.adjOff), n+1)
+			copy(off, g.adjOff)
+			g.adjOff = off
+		}
+		g.ensureScratch(n)
+	}
+}
+
 // EdgeCount returns the number of forward edges added so far — the size
 // measure the solver's parallel-dispatch threshold is expressed in.
 func (g *Graph) EdgeCount() int { return len(g.edges) / 2 }
@@ -319,6 +349,23 @@ func growInt32(s []int32, n int) []int32 {
 // capacity updates it is the re-augmentation delta, so warm restarts
 // continue from the existing feasible flow instead of zero.
 func (g *Graph) MaxFlow(s, t int) float64 {
+	return g.maxFlow(s, t, math.Inf(1))
+}
+
+// MaxFlowAtLeast augments like MaxFlow but stops as soon as the flow
+// added by this call reaches target, skipping the final level-graph
+// construction that proves maximality (and any remaining augmentation).
+// It exists for threshold tests — a feasibility probe only needs to know
+// whether the max flow reaches the demand, not its exact value — where
+// the saved proof pass is a whole BFS over the network per probe. When
+// the returned value is below target it IS the exact augmentation
+// maximum; when it reaches target the flow may not be maximum, so the
+// incremental mutators and CoReachable must not be used afterwards.
+func (g *Graph) MaxFlowAtLeast(s, t int, target float64) float64 {
+	return g.maxFlow(s, t, target)
+}
+
+func (g *Graph) maxFlow(s, t int, target float64) float64 {
 	if s == t {
 		panic("flow: source equals sink")
 	}
@@ -377,9 +424,9 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 	}
 
 	var total float64
-	for bfs() {
+	for total < target && bfs() {
 		copy(iter[:n], g.adjOff[:n])
-		for {
+		for total < target {
 			f := dfs(int32(s), math.Inf(1))
 			if f <= 0 {
 				break

@@ -77,6 +77,62 @@ func BenchmarkOptScheduleColdParallel1024Jobs(b *testing.B) {
 	}
 }
 
+// The contraction benchmark family: the slotted workload aligns all
+// windows to a shared grid, so once the fine tiers finish, long runs
+// of atomic intervals share their active set and the contracted graph
+// is a fraction of the raw one. The contract=off sub-run is the
+// raw-graph baseline the tentpole's >=1.5x claim is measured against;
+// both produce bit-identical schedules.
+func benchOptScheduleSlotted(b *testing.B, n int, contract, cold bool) {
+	in, err := workload.Slotted(workload.Spec{N: n, M: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []Option{WithContraction(contract)}
+	if cold {
+		opts = append(opts, ColdStart())
+	}
+	rec := obs.New()
+	s := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(in, append(opts, WithRecorder(rec))...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	snap := rec.Snapshot()
+	div := float64(b.N)
+	b.ReportMetric(float64(snap.Counters["opt.rounds"])/div, "opt.rounds/op")
+	b.ReportMetric(float64(snap.Counters["opt.intervals_raw"])/div, "opt.intervals_raw/op")
+	b.ReportMetric(float64(snap.Counters["opt.intervals_contracted"])/div, "opt.intervals_contracted/op")
+	b.ReportMetric(float64(snap.Counters["opt.emit_rebuilds"])/div, "opt.emit_rebuilds/op")
+}
+
+func BenchmarkOptScheduleContracted1024Jobs(b *testing.B) {
+	for _, c := range []bool{true, false} {
+		b.Run(fmt.Sprintf("contract=%v", c), func(b *testing.B) {
+			benchOptScheduleSlotted(b, 1024, c, false)
+		})
+	}
+}
+
+func BenchmarkOptScheduleContracted4096Jobs(b *testing.B) {
+	for _, c := range []bool{true, false} {
+		b.Run(fmt.Sprintf("contract=%v", c), func(b *testing.B) {
+			benchOptScheduleSlotted(b, 4096, c, false)
+		})
+	}
+}
+
+// The 4096-job cold baseline: every round rebuilds its (contracted)
+// graph from scratch, bounding the rebuild cost the warm engine and
+// the contraction pass together avoid.
+func BenchmarkOptScheduleCold4096Jobs(b *testing.B) {
+	benchOptScheduleSlotted(b, 4096, true, true)
+}
+
 // Feasibility probes ride the pooled-arena path (AcquireGraph); this
 // guards the admission-control latency the online planner depends on.
 func BenchmarkFeasibleAtSpeed256Jobs(b *testing.B) {

@@ -121,6 +121,8 @@ type capConfig struct {
 	lo, hi      float64
 	haveBracket bool
 	probes      int
+	noApprox    bool
+	noContract  bool
 	ctx         context.Context
 }
 
@@ -145,6 +147,26 @@ func WithProbeParallelism(k int) CapOption {
 // checks (the default).
 func WithCapContext(ctx context.Context) CapOption {
 	return func(c *capConfig) { c.ctx = ctx }
+}
+
+// WithApproxFirst toggles the two-tier probe dispatch (default on):
+// while the bracket is wider than approxCapWidth relative, feasibility
+// probes run on the packed network — contracted intervals, pre-packed
+// jobs, early-exit max-flow (see approx.go) — and the final refinement
+// waves run on the raw network. The probes of the approximate tier sit
+// far from the feasibility boundary, so the returned cap matches the
+// all-raw search's bit for bit (the differential tests pin this).
+func WithApproxFirst(on bool) CapOption {
+	return func(c *capConfig) { c.noApprox = !on }
+}
+
+// WithCapContraction toggles interval contraction inside the cap search
+// (default on): the packed probe tier and the first-phase bracketing
+// solve both shrink their networks with it. Turning contraction off
+// also disables the packed tier, since its graphs are contracted by
+// construction.
+func WithCapContraction(on bool) CapOption {
+	return func(c *capConfig) { c.noContract = !on }
 }
 
 // MinFeasibleCap returns (a tight numerical approximation of) the
@@ -189,7 +211,7 @@ func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder, op
 			return 0, fmt.Errorf("opt: bracket upper bound %v is not feasible: %w", hi, mpsserr.ErrInvalidInstance)
 		}
 	} else {
-		top, err := bracketSpeed(cfg.ctx, in, cfg.probes, rec)
+		top, err := bracketSpeed(cfg.ctx, in, cfg.probes, !cfg.noContract, rec)
 		if err != nil {
 			if !retryable(err) {
 				return 0, err
@@ -197,7 +219,7 @@ func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder, op
 			// The first-phase fast path failed numerically: fall back to
 			// the full solver, which brings its own fallback ladder.
 			rec.Add("opt.bracket_fallbacks", 1)
-			res, ferr := Schedule(in, WithRecorder(rec), WithContext(cfg.ctx))
+			res, ferr := Schedule(in, WithRecorder(rec), WithContext(cfg.ctx), WithContraction(!cfg.noContract))
 			if ferr != nil {
 				return 0, ferr
 			}
@@ -224,7 +246,16 @@ func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder, op
 	// new upper bound. Feasibility is monotone in the cap, so the
 	// infeasible probe just below it tightens the lower bound. k = 1 is
 	// classic bisection.
+	//
+	// Two-tier dispatch: wide-bracket waves probe on the packed network
+	// (approx.go), the final near-boundary waves on the raw one. The
+	// per-wave probe points depend only on the bracket, never on which
+	// tier answered, so both dispatch modes walk the same cap sequence.
 	ivs := job.Partition(in.Jobs)
+	var pk *packedProbe
+	if !cfg.noApprox && !cfg.noContract && hi-lo > approxCapWidth*hi {
+		pk = newPackedProbe(in, ivs, rec)
+	}
 	k := cfg.probes
 	speeds := make([]float64, k)
 	for hi-lo > rel*hi {
@@ -239,15 +270,18 @@ func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder, op
 			break
 		}
 		rec.Add("opt.probe_waves", 1)
+		probe := func(i int) (bool, error) { return feasibleProbe(in, ivs, speeds[i], rec) }
+		if pk != nil && hi-lo > approxCapWidth*hi {
+			rec.Add("opt.approx_waves", 1)
+			probe = func(i int) (bool, error) { return pk.feasible(speeds[i]) }
+		}
 		var feas []bool
 		var err error
 		if k == 1 {
-			ok, perr := feasibleProbe(in, ivs, speeds[0], rec)
+			ok, perr := probe(0)
 			feas, err = []bool{ok}, perr
 		} else {
-			feas, err = pool.Map(k, k, func(i int) (bool, error) {
-				return feasibleProbe(in, ivs, speeds[i], rec)
-			})
+			feas, err = pool.Map(k, k, probe)
 		}
 		if err != nil {
 			return 0, err
@@ -278,7 +312,7 @@ func MinFeasibleCapObserved(in *job.Instance, rel float64, rec *obs.Recorder, op
 // double-solving every later phase; this path stops at the first
 // acceptance and skips schedule emission entirely. Shares the solver
 // pool and panic-containment conventions of Solver.Schedule.
-func bracketSpeed(ctx context.Context, in *job.Instance, par int, rec *obs.Recorder) (top float64, err error) {
+func bracketSpeed(ctx context.Context, in *job.Instance, par int, contract bool, rec *obs.Recorder) (top float64, err error) {
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -298,6 +332,7 @@ func bracketSpeed(ctx context.Context, in *job.Instance, par int, rec *obs.Recor
 	e := &s.fe
 	e.tol = flow.SolveTolerance
 	e.cold = false
+	e.contract = contract
 	e.par = par
 
 	ivs := job.Partition(in.Jobs)

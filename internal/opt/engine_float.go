@@ -29,9 +29,10 @@ import (
 // float64 multiplication is not associative, and (w/s1)*(s1/s2) differs
 // from w/s2 in the last ulp, which would break the warm==cold guarantee.
 type floatEngine struct {
-	tol  float64
-	cold bool
-	par  int // workers for cold solves above ParallelEdgeThreshold; <= 1 = sequential
+	tol      float64
+	cold     bool
+	contract bool // merge flow-equivalent interval runs before solving
+	par      int  // workers for cold solves above ParallelEdgeThreshold; <= 1 = sequential
 
 	in        *job.Instance
 	ivs       []job.Interval
@@ -54,6 +55,14 @@ type floatEngine struct {
 	totalWork   float64
 	totalTime   float64
 	speed       float64
+
+	// Super-interval partition (contract.go), computed once per phase on
+	// the first graph build and reused by every later build in the phase.
+	con      contraction
+	supLen   []float64 // per super-interval: summed member length
+	supNode  []int32   // per super-interval: vertex, -1 when m_j = 0
+	supSink  []flow.EdgeID
+	supValid bool
 
 	// Flow network state (valid when needBuild is false).
 	g         *flow.Graph
@@ -129,6 +138,8 @@ func (e *floatEngine) beginPhase(used, cand []int, span *obs.Span) bool {
 	}
 	e.removals = 0
 	e.needBuild = true
+	e.supValid = false
+	e.con.on = false
 	for jx := 0; jx < nIv; jx++ {
 		e.mj[jx] = min(e.activeCount[jx], e.free[jx])
 	}
@@ -167,7 +178,94 @@ func (e *floatEngine) recomputeTotals() {
 
 // buildGraph constructs G(J, m, s) for the current alive candidate set.
 // The warm path calls it once per phase; the cold path once per round.
+// With contraction enabled it computes the phase's super-interval
+// partition on the first build and dispatches to the contracted shape
+// whenever merging actually removes interval nodes (see contract.go).
 func (e *floatEngine) buildGraph() {
+	if e.contract && !e.supValid {
+		raw := e.con.compute(e.byIv, e.mj)
+		e.supLen = e.con.sumLens(e.supLen, e.ivLen)
+		e.con.on = e.con.nSup < raw
+		e.supValid = true
+		e.rec.Add("opt.intervals_raw", int64(raw))
+		e.rec.Add("opt.intervals_contracted", int64(raw-e.con.nSup))
+	}
+	if e.con.on {
+		e.buildContracted()
+		return
+	}
+	e.buildRaw("opt.graph_rebuilds")
+}
+
+// buildContracted is buildGraph over the super-interval partition: one
+// node and one sink edge per run of merged intervals, job edges carrying
+// the summed run length. Capacities follow the same expressions as the
+// raw build with supLen in place of ivLen.
+func (e *floatEngine) buildContracted() {
+	e.jobNode = growInt32s(e.jobNode, len(e.cand0))
+	node := 1
+	for pos := range e.cand0 {
+		if e.alive[pos] {
+			e.jobNode[pos] = int32(node)
+			node++
+		} else {
+			e.jobNode[pos] = -1
+		}
+	}
+	e.supNode = growInt32s(e.supNode, e.con.nSup)
+	for s := 0; s < e.con.nSup; s++ {
+		if e.mj[e.con.supHead[s]] > 0 {
+			e.supNode[s] = int32(node)
+			node++
+		} else {
+			e.supNode[s] = -1
+		}
+	}
+	e.sink = node
+	if e.g == nil {
+		e.g = flow.NewGraph(node + 1)
+	} else {
+		e.g.Reset(node + 1)
+	}
+	if node+1 > e.st.FlowVertices {
+		e.st.FlowVertices = node + 1
+	}
+	e.srcEdges = growEdgeIDs(e.srcEdges, len(e.cand0))
+	for pos, k := range e.cand0 {
+		if e.alive[pos] {
+			e.srcEdges[pos] = e.g.AddEdge(0, int(e.jobNode[pos]), e.in.Jobs[k].Work/e.speed)
+		}
+	}
+	e.midPos = e.midPos[:0]
+	e.midIv = e.midIv[:0]
+	e.midID = e.midID[:0]
+	e.supSink = growEdgeIDs(e.supSink, e.con.nSup)
+	for s := 0; s < e.con.nSup; s++ {
+		if e.supNode[s] < 0 {
+			continue
+		}
+		head := e.con.supHead[s]
+		for _, pos := range e.byIv[head] {
+			if !e.alive[pos] {
+				continue
+			}
+			id := e.g.AddEdge(int(e.jobNode[pos]), int(e.supNode[s]), e.supLen[s])
+			e.midPos = append(e.midPos, pos)
+			e.midIv = append(e.midIv, int32(s))
+			e.midID = append(e.midID, id)
+		}
+		e.supSink[s] = e.g.AddEdge(int(e.supNode[s]), e.sink, float64(e.mj[head])*e.supLen[s])
+	}
+	e.rec.Add("opt.graph_rebuilds", 1)
+	e.prevOps = flow.DinicOps{}
+	e.warmRound = false
+	e.needBuild = false
+}
+
+// buildRaw constructs the uncontracted network; counter names the
+// rebuild class recorded ("opt.graph_rebuilds" for round builds,
+// "opt.emit_rebuilds" for the emission rebuild after contracted rounds).
+func (e *floatEngine) buildRaw(counter string) {
 	nIv := len(e.ivs)
 	// Vertex layout: 0 = source, then alive jobs, then intervals with
 	// mj > 0, last = sink.
@@ -224,7 +322,7 @@ func (e *floatEngine) buildGraph() {
 		}
 		e.sinkEdges[jx] = e.g.AddEdge(int(e.ivNode[jx]), e.sink, float64(e.mj[jx])*e.ivLen[jx])
 	}
-	e.rec.Add("opt.graph_rebuilds", 1)
+	e.rec.Add(counter, 1)
 	e.prevOps = flow.DinicOps{}
 	e.warmRound = false
 	e.needBuild = false
@@ -315,12 +413,25 @@ func (e *floatEngine) removeExcluded() (degenerate, empty bool) {
 	if !e.cold {
 		drained += e.g.RemoveJobEdge(e.srcEdges[pos])
 	}
+	// With contraction on, every member of a run changes identically (the
+	// removed job is active in all of a run or none of it, and equal m_j
+	// stay equal), so the run's sink edge is updated once — lastSup
+	// dedupes the consecutive members, skipping over m_j = 0 gaps.
+	lastSup := int32(-1)
 	for _, jx := range e.jobIvs[k] {
 		e.activeCount[jx]--
 		nm := min(e.activeCount[jx], e.free[jx])
 		if nm < e.mj[jx] {
 			e.mj[jx] = nm
-			if !e.cold && e.ivNode[jx] >= 0 {
+			if e.cold {
+				continue
+			}
+			if e.con.on {
+				if s := e.con.supOf[jx]; s >= 0 && s != lastSup {
+					drained += e.g.SetCapacity(e.supSink[s], float64(nm)*e.supLen[s])
+					lastSup = s
+				}
+			} else if e.ivNode[jx] >= 0 {
 				drained += e.g.SetCapacity(e.sinkEdges[jx], float64(nm)*e.ivLen[jx])
 			}
 		}
@@ -372,21 +483,22 @@ func (e *floatEngine) dropLeastWork() (degenerate, empty bool) {
 }
 
 func (e *floatEngine) accept() (float64, []int, map[int][]pieceTime) {
-	if !e.cold && e.removals > 0 {
+	if e.con.on {
+		// Rounds ran on the contracted network, whose flows have no
+		// per-raw-interval meaning. Rebuild the raw-shaped network for
+		// the surviving candidate set — the exact graph the uncontracted
+		// cold path solves for its accepted round — and solve from zero,
+		// so the emitted times are bit-identical to the raw path's.
+		e.con.on = false
+		e.buildRaw("opt.emit_rebuilds")
+		e.solveEmit()
+	} else if !e.cold && e.removals > 0 {
 		// Canonicalize: one solve from zero on the updated network. The
 		// zero-capacity remnants of removed jobs never enter Dinic's
 		// search, so this reproduces the cold path's flow bit-exactly
 		// while still skipping the per-round rebuild-and-resolve work.
 		e.g.ResetFlow()
-		var t0 time.Time
-		if e.solveHist != nil {
-			t0 = time.Now()
-		}
-		e.g.MaxFlow(0, e.sink)
-		if e.solveHist != nil {
-			e.solveHist.Observe(time.Since(t0).Seconds())
-		}
-		e.publish()
+		e.solveEmit()
 	}
 	tkj := make(map[int][]pieceTime, e.aliveCount)
 	for i, pos := range e.midPos {
@@ -402,6 +514,21 @@ func (e *floatEngine) accept() (float64, []int, map[int][]pieceTime) {
 		}
 	}
 	return e.speed, e.mj, tkj
+}
+
+// solveEmit runs the emission-time from-zero solve (histogram-timed,
+// ops published) shared by the canonicalization and contracted-accept
+// paths.
+func (e *floatEngine) solveEmit() {
+	var t0 time.Time
+	if e.solveHist != nil {
+		t0 = time.Now()
+	}
+	e.g.MaxFlow(0, e.sink)
+	if e.solveHist != nil {
+		e.solveHist.Observe(time.Since(t0).Seconds())
+	}
+	e.publish()
 }
 
 func (e *floatEngine) acceptedCand() []int {

@@ -22,7 +22,8 @@ import (
 // (s_old/s_new) equals w/s_new as a rational, so no absolute re-set is
 // needed for warm and cold to agree exactly.
 type exactEngine struct {
-	cold bool
+	cold     bool
+	contract bool // merge flow-equivalent interval runs before solving
 
 	in  *job.Instance
 	ivs []job.Interval
@@ -44,6 +45,16 @@ type exactEngine struct {
 	totalWork   *big.Rat
 	totalTime   *big.Rat
 	speed       *big.Rat
+
+	// Super-interval partition (contract.go). In exact arithmetic the
+	// contracted and raw networks have identical max-flow values and
+	// residual co-reachability, so every phase decision provably matches
+	// the raw path's.
+	con      contraction
+	supLen   []*big.Rat
+	supNode  []int32
+	supSink  []flow.EdgeID
+	supValid bool
 
 	g         *flow.RatGraph
 	needBuild bool
@@ -117,6 +128,8 @@ func (e *exactEngine) beginPhase(used, cand []int, span *obs.Span) bool {
 	}
 	e.removals = 0
 	e.needBuild = true
+	e.supValid = false
+	e.con.on = false
 	for jx := 0; jx < nIv; jx++ {
 		e.mj[jx] = min(e.activeCount[jx], e.free[jx])
 	}
@@ -149,6 +162,88 @@ func (e *exactEngine) recomputeTotals() {
 }
 
 func (e *exactEngine) buildGraph() {
+	if e.contract && !e.supValid {
+		raw := e.con.compute(e.byIv, e.mj)
+		e.supLen = e.con.sumLensRat(e.supLen, e.ivLen)
+		e.con.on = e.con.nSup < raw
+		e.supValid = true
+		e.rec.Add("opt.intervals_raw", int64(raw))
+		e.rec.Add("opt.intervals_contracted", int64(raw-e.con.nSup))
+	}
+	if e.con.on {
+		e.buildContracted()
+		return
+	}
+	e.buildRaw("opt.graph_rebuilds")
+}
+
+// buildContracted is the exact mirror of the float engine's contracted
+// build: one node per super-interval, rational run lengths.
+func (e *exactEngine) buildContracted() {
+	e.jobNode = growInt32s(e.jobNode, len(e.cand0))
+	node := 1
+	for pos := range e.cand0 {
+		if e.alive[pos] {
+			e.jobNode[pos] = int32(node)
+			node++
+		} else {
+			e.jobNode[pos] = -1
+		}
+	}
+	e.supNode = growInt32s(e.supNode, e.con.nSup)
+	for s := 0; s < e.con.nSup; s++ {
+		if e.mj[e.con.supHead[s]] > 0 {
+			e.supNode[s] = int32(node)
+			node++
+		} else {
+			e.supNode[s] = -1
+		}
+	}
+	e.sink = node
+	if e.g == nil {
+		e.g = flow.NewRatGraph(node + 1)
+	} else {
+		e.g.Reset(node + 1)
+	}
+	if node+1 > e.st.FlowVertices {
+		e.st.FlowVertices = node + 1
+	}
+	c := new(big.Rat)
+	e.srcEdges = growEdgeIDs(e.srcEdges, len(e.cand0))
+	for pos, k := range e.cand0 {
+		if e.alive[pos] {
+			c.Quo(e.work[k], e.speed)
+			e.srcEdges[pos] = e.g.AddEdge(0, int(e.jobNode[pos]), c)
+		}
+	}
+	e.midPos = e.midPos[:0]
+	e.midIv = e.midIv[:0]
+	e.midID = e.midID[:0]
+	e.supSink = growEdgeIDs(e.supSink, e.con.nSup)
+	for s := 0; s < e.con.nSup; s++ {
+		if e.supNode[s] < 0 {
+			continue
+		}
+		head := e.con.supHead[s]
+		for _, pos := range e.byIv[head] {
+			if !e.alive[pos] {
+				continue
+			}
+			id := e.g.AddEdge(int(e.jobNode[pos]), int(e.supNode[s]), e.supLen[s])
+			e.midPos = append(e.midPos, pos)
+			e.midIv = append(e.midIv, int32(s))
+			e.midID = append(e.midID, id)
+		}
+		c.SetInt64(int64(e.mj[head]))
+		c.Mul(c, e.supLen[s])
+		e.supSink[s] = e.g.AddEdge(int(e.supNode[s]), e.sink, c)
+	}
+	e.rec.Add("opt.graph_rebuilds", 1)
+	e.prevOps = flow.DinicOps{}
+	e.needBuild = false
+}
+
+func (e *exactEngine) buildRaw(counter string) {
 	nIv := len(e.ivs)
 	e.jobNode = growInt32s(e.jobNode, len(e.cand0))
 	node := 1
@@ -207,7 +302,7 @@ func (e *exactEngine) buildGraph() {
 		c.Mul(c, e.ivLen[jx])
 		e.sinkEdges[jx] = e.g.AddEdge(int(e.ivNode[jx]), e.sink, c)
 	}
-	e.rec.Add("opt.graph_rebuilds", 1)
+	e.rec.Add(counter, 1)
 	e.prevOps = flow.DinicOps{}
 	e.needBuild = false
 }
@@ -264,12 +359,23 @@ func (e *exactEngine) removeExcluded() (degenerate, empty bool) {
 		drained.Add(drained, e.g.RemoveJobEdge(e.srcEdges[pos]))
 	}
 	c := new(big.Rat)
+	lastSup := int32(-1) // dedupes run members, as in the float engine
 	for _, jx := range e.jobIvs[k] {
 		e.activeCount[jx]--
 		nm := min(e.activeCount[jx], e.free[jx])
 		if nm < e.mj[jx] {
 			e.mj[jx] = nm
-			if !e.cold && e.ivNode[jx] >= 0 {
+			if e.cold {
+				continue
+			}
+			if e.con.on {
+				if s := e.con.supOf[jx]; s >= 0 && s != lastSup {
+					c.SetInt64(int64(nm))
+					c.Mul(c, e.supLen[s])
+					drained.Add(drained, e.g.SetCapacity(e.supSink[s], c))
+					lastSup = s
+				}
+			} else if e.ivNode[jx] >= 0 {
 				c.SetInt64(int64(nm))
 				c.Mul(c, e.ivLen[jx])
 				drained.Add(drained, e.g.SetCapacity(e.sinkEdges[jx], c))
@@ -325,7 +431,16 @@ func (e *exactEngine) dropLeastWork() (degenerate, empty bool) {
 }
 
 func (e *exactEngine) accept() (float64, []int, map[int][]pieceTime) {
-	if !e.cold && e.removals > 0 {
+	if e.con.on {
+		// See floatEngine.accept: emission needs raw per-interval flows,
+		// so rebuild the raw-shaped network and solve from zero.
+		e.con.on = false
+		e.buildRaw("opt.emit_rebuilds")
+		stop := e.rec.Time("opt.flow_solve_seconds")
+		e.g.MaxFlow(0, e.sink)
+		stop()
+		e.publish()
+	} else if !e.cold && e.removals > 0 {
 		e.g.ResetFlow()
 		stop := e.rec.Time("opt.flow_solve_seconds")
 		e.g.MaxFlow(0, e.sink)

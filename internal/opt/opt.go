@@ -79,13 +79,14 @@ type Result struct {
 type Option func(*config)
 
 type config struct {
-	exact bool
-	cold  bool
-	tol   float64
-	par   int
-	rec   *obs.Recorder
-	span  *obs.Span
-	ctx   context.Context
+	exact      bool
+	cold       bool
+	noContract bool
+	tol        float64
+	par        int
+	rec        *obs.Recorder
+	span       *obs.Span
+	ctx        context.Context
 }
 
 // Exact switches the phase decisions to exact math/big.Rat arithmetic.
@@ -104,6 +105,19 @@ func ColdStart() Option { return func(c *config) { c.cold = true } }
 // (default flow.SolveTolerance).
 func WithTolerance(tol float64) Option {
 	return func(c *config) { c.tol = tol }
+}
+
+// WithContraction toggles the interval-contraction preprocessing
+// (default on): before each phase's rounds, maximal runs of consecutive
+// event intervals with identical active candidate sets and identical
+// processor budgets are merged into super-intervals, shrinking the flow
+// network the rounds solve without changing any phase decision or the
+// emitted schedule (see contract.go for the equivalence argument; the
+// differential tests prove the output bit-identical). Turning it off
+// solves every round on the raw atomic intervals, as the paper's
+// pseudo-code literally does.
+func WithContraction(on bool) Option {
+	return func(c *config) { c.noContract = !on }
 }
 
 // ParallelEdgeThreshold is the network size (in forward edges) above
@@ -217,10 +231,12 @@ func (s *Solver) Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 	}
 	if cfg.exact {
 		s.ee.cold = cfg.cold
+		s.ee.contract = !cfg.noContract
 		return runPhases(cfg.ctx, in, &s.ee, cfg.rec, cfg.span)
 	}
 	s.fe.tol = cfg.tol
 	s.fe.cold = cfg.cold
+	s.fe.contract = !cfg.noContract
 	s.fe.par = cfg.par
 	res, err := runPhases(cfg.ctx, in, &s.fe, cfg.rec, cfg.span)
 	if err == nil || !retryable(err) {
@@ -241,6 +257,7 @@ func (s *Solver) Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 	}
 	cfg.rec.Add("opt.fallback_exact", 1)
 	s.ee.cold = false
+	s.ee.contract = !cfg.noContract
 	res, err = runPhases(cfg.ctx, in, &s.ee, cfg.rec, cfg.span)
 	if err != nil {
 		return nil, fmt.Errorf("opt: exact fallback also failed: %w (float path: %v)", err, floatErr)

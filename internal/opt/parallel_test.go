@@ -186,7 +186,7 @@ func TestBracketFastPathMatchesSchedule(t *testing.T) {
 			t.Fatal(err)
 		}
 		rec := obs.New()
-		top, err := bracketSpeed(nil, in, 1, rec)
+		top, err := bracketSpeed(nil, in, 1, true, rec)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -239,6 +239,78 @@ func Poisson(spec Spec) (*job.Instance, error) {
 	return job.NewInstance(spec.M, jobs)
 }
 
+// Slotted models a mixed interactive/batch cluster on a shared time
+// grid, the way slotted batch systems and periodic realtime task sets
+// carve their horizon. The horizon is cut into 256 base slots. Up to
+// half the jobs form "interactive" stacks: groups of exactly M jobs
+// pinned to a single slot (window = that slot) at one fixed, high
+// density, placed on evenly spaced alternate slots. The rest is
+// "batch" load: 32-slot windows aligned to their own width, with
+// jittered work drawn from a shared budget a quarter of the
+// interactive density, banded so each region of the horizon carries a
+// different load level and the batch phases peel off region by region.
+//
+// The structure is built so interval contraction has something to
+// collapse: the interactive stacks form the top speed phase and die
+// first, saturating their slots (a stack of M equal jobs reserves all
+// M processors for exactly its slot), so every later phase sees those
+// slots as zero-capacity gaps and the surviving batch jobs only break
+// the horizon at coarse block boundaries — long runs of atomic
+// intervals carry identical active sets and merge. Grids, not
+// arbitrary reals, are what schedulers actually see, which makes this
+// the showcase workload for the contracted solve path.
+func Slotted(spec Spec) (*job.Instance, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	h := spec.horizon()
+	const slots = 256
+	slotW := h / slots
+	// Full stacks only: a partial stack would not saturate its slot.
+	covered := (spec.N / 2) / spec.M
+	if covered > slots/2 {
+		covered = slots / 2
+	}
+	nConf := covered * spec.M
+	jobs := make([]job.Job, spec.N)
+	for i := range jobs {
+		if i < nConf {
+			// Interactive stack member: one slot, exact density 64, so
+			// the stack fills its slot precisely at the phase speed.
+			slot := (i / spec.M * (slots / 2) / covered) * 2
+			r := float64(slot) * slotW
+			jobs[i] = job.Job{
+				ID:       i + 1,
+				Release:  r,
+				Deadline: r + slotW,
+				Work:     64 * slotW,
+			}
+			continue
+		}
+		// Batch job: a 32-slot aligned window with jittered work. The
+		// batch pool shares a fixed budget — an average machine speed of
+		// 16, a quarter of the interactive density — so the batch phases
+		// stay strictly below the interactive one at every instance
+		// size. The per-region band keeps the eight regions at distinct
+		// load levels, so the batch work resolves into several phases
+		// instead of one giant uniform level.
+		const batchSlots = 32
+		b := rng.Intn(slots / batchSlots)
+		width := batchSlots * slotW
+		r := float64(b) * width
+		budget := 16 * float64(spec.M) * h / 2
+		band := 1 / float64(1+b)
+		jobs[i] = job.Job{
+			ID:       i + 1,
+			Release:  r,
+			Deadline: r + width,
+			Work:     (0.5 + 0.5*rng.Float64()) * band * budget / float64(spec.N-nConf),
+		}
+	}
+	return job.NewInstance(spec.M, jobs)
+}
+
 // Generator is a named instance generator, for table-driven sweeps.
 type Generator struct {
 	Name string
@@ -256,6 +328,7 @@ func All() []Generator {
 		{Name: "avr-adversarial", Make: AVRAdversarial},
 		{Name: "oa-adversarial", Make: OAAdversarial},
 		{Name: "poisson", Make: Poisson},
+		{Name: "slotted", Make: Slotted},
 	}
 }
 

@@ -135,6 +135,8 @@ type solveConfig struct {
 	capLo      float64
 	capHi      float64
 	capBracket bool
+	noContract bool
+	noApprox   bool
 	ctx        context.Context
 }
 
@@ -162,6 +164,28 @@ func WithParallelism(n int) SolveOption {
 // bound. Other entry points ignore it.
 func WithBracket(lo, hi float64) SolveOption {
 	return func(c *solveConfig) { c.capLo, c.capHi, c.capBracket = lo, hi, true }
+}
+
+// WithContraction toggles interval contraction (default on): before
+// each phase is solved, maximal runs of consecutive atomic intervals
+// with identical active job sets and processor budgets are merged into
+// single super-intervals, shrinking the flow network without changing
+// any computed speed, phase or schedule — results are bit-identical
+// either way. Turning it off is an escape hatch for debugging and for
+// A/B measurement (the -contract=false flag of the CLIs maps here).
+func WithContraction(on bool) SolveOption {
+	return func(c *solveConfig) { c.noContract = !on }
+}
+
+// WithApproxFirst toggles the two-tier cap search (default on): while
+// the MinFeasibleCap bracket is still wide, feasibility probes run on a
+// contracted, pre-packed network with an early-exit max-flow; the final
+// narrowing always uses full-precision probes on the raw network, so
+// the returned cap is bit-identical either way. Entry points other
+// than MinFeasibleCap ignore it. Disabling contraction also disables
+// the approximate tier.
+func WithApproxFirst(on bool) SolveOption {
+	return func(c *solveConfig) { c.noApprox = !on }
 }
 
 func buildSolveConfig(opts []SolveOption) solveConfig {

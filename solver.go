@@ -62,7 +62,8 @@ func (s *Solver) Solve(in *Instance, opts ...SolveOption) (*OptimalResult, error
 	}
 	cfg := s.merge(opts)
 	return s.os.Schedule(in,
-		opt.WithRecorder(cfg.rec), opt.WithParallelism(cfg.par), opt.WithContext(cfg.ctx))
+		opt.WithRecorder(cfg.rec), opt.WithParallelism(cfg.par), opt.WithContext(cfg.ctx),
+		opt.WithContraction(!cfg.noContract))
 }
 
 // SolveExact is Solve with all phase decisions carried out in exact
@@ -73,7 +74,8 @@ func (s *Solver) SolveExact(in *Instance, opts ...SolveOption) (*OptimalResult, 
 	}
 	cfg := s.merge(opts)
 	return s.os.Schedule(in,
-		opt.Exact(), opt.WithRecorder(cfg.rec), opt.WithContext(cfg.ctx))
+		opt.Exact(), opt.WithRecorder(cfg.rec), opt.WithContext(cfg.ctx),
+		opt.WithContraction(!cfg.noContract))
 }
 
 // OA runs the online Optimal Available simulation; its per-arrival
@@ -125,7 +127,11 @@ func (s *Solver) MinFeasibleCap(in *Instance, rel float64, opts ...SolveOption) 
 
 // capOptions translates a solve config into the cap-search option set.
 func (cfg *solveConfig) capOptions() []opt.CapOption {
-	capOpts := []opt.CapOption{opt.WithCapContext(cfg.ctx)}
+	capOpts := []opt.CapOption{
+		opt.WithCapContext(cfg.ctx),
+		opt.WithCapContraction(!cfg.noContract),
+		opt.WithApproxFirst(!cfg.noApprox),
+	}
 	if cfg.par > 1 {
 		capOpts = append(capOpts, opt.WithProbeParallelism(cfg.par))
 	}
