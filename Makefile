@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke cli-smoke serve-smoke loadgen-smoke fuzz-smoke contract-smoke clean
+.PHONY: all build test vet race verify bench bench-smoke cli-smoke serve-smoke session-smoke loadgen-smoke fuzz-smoke contract-smoke clean
 
 all: verify
 
@@ -31,6 +31,12 @@ cli-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# session-smoke drives the streaming-session protocol against the real
+# binary: create, remove/add/cap deltas (each checked against a one-shot
+# solve), long-poll, delete, TTL eviction, graceful drain.
+session-smoke:
+	sh scripts/session_smoke.sh
+
 # loadgen-smoke runs mpss-loadgen against a live daemon for a short
 # open-loop burst and asserts the SLO report (non-zero throughput, zero
 # 5xx) plus a valid Prometheus scrape under load.
@@ -50,7 +56,7 @@ fuzz-smoke:
 contract-smoke:
 	$(GO) test -race -short -run 'TestContractedMatchesRaw|TestTwoTierCap' ./internal/opt/
 
-verify: build vet test race cli-smoke serve-smoke loadgen-smoke
+verify: build vet test race cli-smoke serve-smoke session-smoke loadgen-smoke
 
 # bench runs the solver benchmark family (warm incremental engine vs the
 # cold per-round-rebuild baseline) and archives the numbers — ns/op,

@@ -1,7 +1,8 @@
 // Command mpss-served runs the scheduling service: a long-lived HTTP
 // daemon exposing the paper's offline optimum, the OA/AVR online
-// simulations and the speed-bounded feasibility queries as a JSON API
-// (see internal/server for the endpoint list and DESIGN.md §10–§11 for
+// simulations, the speed-bounded feasibility queries and streaming
+// sessions (warm incremental re-solves over /v1/session) as a JSON API
+// (see internal/server for the endpoint list and DESIGN.md §10–§13 for
 // the architecture and the telemetry layer).
 //
 // Usage:
@@ -52,6 +53,9 @@ func main() {
 		cache        = flag.Int("cache", 0, "result cache entries (0 = default 1024, negative disables)")
 		trace        = flag.Bool("trace", false, "record a span per request (bounded by the trace span limit)")
 		flight       = flag.Int("flight", 0, "flight recorder size: retain N most recent + N slowest request traces (0 = default 64, negative disables)")
+		sessionTTL   = flag.Duration("session-ttl", 10*time.Minute, "evict streaming sessions idle longer than this (negative disables)")
+		maxSessions  = flag.Int("max-sessions", 0, "max concurrently open streaming sessions (0 = default 256)")
+		sessionJobs  = flag.Int("session-max-jobs", 0, "max jobs per streaming session (0 = default 100000)")
 		debugAddr    = flag.String("debug-addr", "", "optional second listen address for pprof + debug endpoints (empty = disabled)")
 		logFormat    = flag.String("log-format", "json", "log encoding: json or text")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -75,6 +79,9 @@ func main() {
 		CacheEntries:   *cache,
 		TraceRequests:  *trace,
 		FlightEntries:  *flight,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
+		SessionMaxJobs: *sessionJobs,
 		Logger:         logger,
 	})
 	cfg := srv.Config() // resolved defaults, for honest startup logging
@@ -106,6 +113,8 @@ func main() {
 		"cache", cfg.CacheEntries,
 		"timeout", cfg.DefaultTimeout.String(),
 		"flight", cfg.FlightEntries,
+		"session_ttl", cfg.SessionTTL.String(),
+		"max_sessions", cfg.MaxSessions,
 	)
 
 	serveErr := make(chan error, 1)

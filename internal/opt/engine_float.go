@@ -64,22 +64,30 @@ type floatEngine struct {
 	supSink  []flow.EdgeID
 	supValid bool
 
-	// Flow network state (valid when needBuild is false).
-	g         *flow.Graph
-	needBuild bool
-	jobNode   []int32
-	ivNode    []int32
-	sink      int
-	srcEdges  []flow.EdgeID
-	sinkEdges []flow.EdgeID
-	midPos    []int32
-	midIv     []int32
-	midID     []flow.EdgeID
-	prevOps   flow.DinicOps
-	warmRound bool // true once the current network has been solved
-	removals  int
-	pending   int // candidate position selected for removal
-	accepted  []int
+	// Flow network state (valid when needBuild is false). g aliases the
+	// graph the current phase solves on: own for ordinary phases (the
+	// engine-owned arena every build targets), or sess.g while a session
+	// solve's first phase runs on the persistent network (session.go).
+	g          *flow.Graph
+	own        *flow.Graph
+	sess       *sessNet // non-nil only while a Session resolve runs
+	sessPhase  bool     // current phase runs on sess.g
+	firstPhase bool     // next beginPhase starts the solve's first phase
+	posOfSlot  []int32  // scratch: session slot -> live candidate pos
+	needBuild  bool
+	jobNode    []int32
+	ivNode     []int32
+	sink       int
+	srcEdges   []flow.EdgeID
+	sinkEdges  []flow.EdgeID
+	midPos     []int32
+	midIv      []int32
+	midID      []flow.EdgeID
+	prevOps    flow.DinicOps
+	warmRound  bool // true once the current network has been solved
+	removals   int
+	pending    int // candidate position selected for removal
+	accepted   []int
 }
 
 func (e *floatEngine) spanName(phase int) string { return fmt.Sprintf("phase %d", phase) }
@@ -90,6 +98,7 @@ func (e *floatEngine) emptyErr() error {
 
 func (e *floatEngine) prepare(in *job.Instance, ivs []job.Interval, st *Stats, rec *obs.Recorder) {
 	e.in, e.ivs, e.st, e.rec = in, ivs, st, rec
+	e.firstPhase = true
 	// The histogram handle is cached once per solve: rec.Time allocates a
 	// closure per call, which the per-round profile showed as real.
 	e.solveHist = rec.Histogram("opt.flow_solve_seconds")
@@ -140,14 +149,27 @@ func (e *floatEngine) beginPhase(used, cand []int, span *obs.Span) bool {
 	e.needBuild = true
 	e.supValid = false
 	e.con.on = false
+	first := e.firstPhase
+	e.firstPhase = false
+	e.sessPhase = false
 	for jx := 0; jx < nIv; jx++ {
 		e.mj[jx] = min(e.activeCount[jx], e.free[jx])
 	}
 	e.recomputeTotals()
 	if e.totalTime <= 0 {
+		if first && e.sess != nil {
+			// A degenerate first phase never touches the persistent
+			// network, but its next build would happen with a shrunken
+			// candidate set mid-phase — force a rebuild next resolve.
+			e.sess.valid = false
+		}
 		return true
 	}
 	e.speed = e.totalWork / e.totalTime
+	if first && e.sess != nil {
+		e.beginSessionPhase()
+		return false
+	}
 	e.buildGraph()
 	return false
 }
@@ -222,11 +244,12 @@ func (e *floatEngine) buildContracted() {
 		}
 	}
 	e.sink = node
-	if e.g == nil {
-		e.g = flow.NewGraph(node + 1)
+	if e.own == nil {
+		e.own = flow.NewGraph(node + 1)
 	} else {
-		e.g.Reset(node + 1)
+		e.own.Reset(node + 1)
 	}
+	e.g = e.own
 	if node+1 > e.st.FlowVertices {
 		e.st.FlowVertices = node + 1
 	}
@@ -266,9 +289,35 @@ func (e *floatEngine) buildContracted() {
 // rebuild class recorded ("opt.graph_rebuilds" for round builds,
 // "opt.emit_rebuilds" for the emission rebuild after contracted rounds).
 func (e *floatEngine) buildRaw(counter string) {
+	if e.sessPhase {
+		// The phase is falling off the persistent session network onto a
+		// fresh engine-owned build (degenerate candidate drop mid-phase,
+		// or the emission rebuild): the persistent flow is stale relative
+		// to the decisions this phase keeps making, so the next session
+		// resolve must rebuild it from scratch.
+		e.sess.valid = false
+		e.sessPhase = false
+	}
+	node := e.rawLayout()
+	if e.own == nil {
+		e.own = flow.NewGraph(node + 1)
+	} else {
+		e.own.Reset(node + 1)
+	}
+	e.g = e.own
+	e.rawEdges()
+	e.rec.Add(counter, 1)
+	e.prevOps = flow.DinicOps{}
+	e.warmRound = false
+	e.needBuild = false
+}
+
+// rawLayout assigns the uncontracted vertex layout — 0 = source, then
+// alive jobs, then intervals with mj > 0, last = sink — and returns the
+// sink vertex. Shared by buildRaw and the session network build, which
+// must lay vertices out identically for the warm==cold guarantee.
+func (e *floatEngine) rawLayout() int {
 	nIv := len(e.ivs)
-	// Vertex layout: 0 = source, then alive jobs, then intervals with
-	// mj > 0, last = sink.
 	e.jobNode = growInt32s(e.jobNode, len(e.cand0))
 	node := 1
 	for pos := range e.cand0 {
@@ -289,14 +338,19 @@ func (e *floatEngine) buildRaw(counter string) {
 		}
 	}
 	e.sink = node
-	if e.g == nil {
-		e.g = flow.NewGraph(node + 1)
-	} else {
-		e.g.Reset(node + 1)
-	}
 	if node+1 > e.st.FlowVertices {
 		e.st.FlowVertices = node + 1
 	}
+	return node
+}
+
+// rawEdges inserts the uncontracted edge set into e.g in the canonical
+// order: all source edges in candidate order, then per interval its job
+// edges (byIv order) followed by its sink edge. Every network the
+// engine compares bit-for-bit is built through this routine, so the
+// adjacency order — which fixes Dinic's augmentation sequence — is the
+// same everywhere.
+func (e *floatEngine) rawEdges() {
 	e.srcEdges = growEdgeIDs(e.srcEdges, len(e.cand0))
 	for pos, k := range e.cand0 {
 		if e.alive[pos] {
@@ -306,6 +360,7 @@ func (e *floatEngine) buildRaw(counter string) {
 	e.midPos = e.midPos[:0]
 	e.midIv = e.midIv[:0]
 	e.midID = e.midID[:0]
+	nIv := len(e.ivs)
 	e.sinkEdges = growEdgeIDs(e.sinkEdges, nIv)
 	for jx := 0; jx < nIv; jx++ {
 		if e.mj[jx] == 0 {
@@ -322,10 +377,6 @@ func (e *floatEngine) buildRaw(counter string) {
 		}
 		e.sinkEdges[jx] = e.g.AddEdge(int(e.ivNode[jx]), e.sink, float64(e.mj[jx])*e.ivLen[jx])
 	}
-	e.rec.Add(counter, 1)
-	e.prevOps = flow.DinicOps{}
-	e.warmRound = false
-	e.needBuild = false
 }
 
 // publish flushes the ops delta of the last MaxFlow call.
@@ -412,6 +463,12 @@ func (e *floatEngine) removeExcluded() (degenerate, empty bool) {
 	var drained float64
 	if !e.cold {
 		drained += e.g.RemoveJobEdge(e.srcEdges[pos])
+		if e.sessPhase {
+			// The rounds zeroed this slot's source and job edges on the
+			// persistent network; if the job is still in the session, the
+			// next attach must restore those capacities before reuse.
+			e.sess.zeroed[e.sess.slotOf[pos]] = true
+		}
 	}
 	// With contraction on, every member of a run changes identically (the
 	// removed job is active in all of a run or none of it, and equal m_j
@@ -492,17 +549,21 @@ func (e *floatEngine) accept() (float64, []int, map[int][]pieceTime) {
 		e.con.on = false
 		e.buildRaw("opt.emit_rebuilds")
 		e.solveEmit()
-	} else if !e.cold && e.removals > 0 {
+	} else if (!e.cold && e.removals > 0) || e.sessPhase {
 		// Canonicalize: one solve from zero on the updated network. The
 		// zero-capacity remnants of removed jobs never enter Dinic's
 		// search, so this reproduces the cold path's flow bit-exactly
 		// while still skipping the per-round rebuild-and-resolve work.
+		// Session phases always canonicalize, even with zero removals
+		// this phase: the persistent network's accepted flow must be the
+		// canonical from-zero flow for the next delta's warm reconcile
+		// to stay on the cold augmentation sequence.
 		e.g.ResetFlow()
 		e.solveEmit()
 	}
 	tkj := make(map[int][]pieceTime, e.aliveCount)
 	for i, pos := range e.midPos {
-		if !e.alive[pos] {
+		if pos < 0 || !e.alive[pos] {
 			continue
 		}
 		// Collect every positive flow: dropping pieces at the slack

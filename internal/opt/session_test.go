@@ -1,0 +1,275 @@
+package opt
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"mpss/internal/job"
+	"mpss/internal/obs"
+	"mpss/internal/workload"
+)
+
+// The session contract: a job set built by N arbitrary deltas resolves
+// to exactly what a one-shot solve of the final instance produces —
+// phase structure, speeds and schedule segments all bit-identical.
+func TestSessionMatchesOneShotFloat(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		in, err := workload.Bursty(workload.Spec{N: 24, M: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed*977 + 11))
+		sess, err := NewSolver().NewSession(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := append([]job.Job(nil), in.Jobs...)
+		nextID := 10_000
+		oneShot := NewSolver()
+		for step := 0; step < 8; step++ {
+			switch op := rng.Intn(3); {
+			case op == 0 && len(jobs) > 2:
+				i := rng.Intn(len(jobs))
+				if err := sess.RemoveJob(jobs[i].ID); err != nil {
+					t.Fatal(err)
+				}
+				jobs = append(jobs[:i], jobs[i+1:]...)
+			case op == 1:
+				r := rng.Float64() * 8
+				j := job.Job{ID: nextID, Release: r, Deadline: r + 1 + rng.Float64()*4, Work: 0.5 + rng.Float64()*3}
+				nextID++
+				if err := sess.AddJob(j); err != nil {
+					t.Fatal(err)
+				}
+				jobs = append(jobs, j)
+			default:
+				// Retune the cap between two robustly-classifiable
+				// values; the near-threshold verdict is probed by
+				// TestSessionCapFeasibleMatchesProbe instead.
+				c := 1000.0
+				if step%2 == 1 {
+					c = 1e-6
+				}
+				if err := sess.SetCap(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := sess.Resolve(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := &job.Instance{M: in.M, Jobs: jobs}
+			want, err := oneShot.Schedule(cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comparePhases(t, seed*100+int64(step), got.Res, want)
+			if got.Cap > 0 {
+				wantFeas, err := FeasibleAtSpeedCtx(context.Background(), cur, got.Cap, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.CapFeasible != wantFeas {
+					t.Fatalf("seed %d step %d: cap %v verdict %v, probe says %v",
+						seed, step, got.Cap, got.CapFeasible, wantFeas)
+				}
+			}
+		}
+	}
+}
+
+// Same differential through the exact rational engine.
+func TestSessionMatchesOneShotExact(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		in, err := workload.Bursty(workload.Spec{N: 12, M: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed*31 + 5))
+		sess, err := NewSolver().NewSession(in, Exact())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := append([]job.Job(nil), in.Jobs...)
+		nextID := 20_000
+		oneShot := NewSolver()
+		for step := 0; step < 4; step++ {
+			if step%2 == 0 && len(jobs) > 2 {
+				i := rng.Intn(len(jobs))
+				if err := sess.RemoveJob(jobs[i].ID); err != nil {
+					t.Fatal(err)
+				}
+				jobs = append(jobs[:i], jobs[i+1:]...)
+			} else {
+				r := rng.Float64() * 6
+				j := job.Job{ID: nextID, Release: r, Deadline: r + 1 + rng.Float64()*3, Work: 0.5 + rng.Float64()*2}
+				nextID++
+				if err := sess.AddJob(j); err != nil {
+					t.Fatal(err)
+				}
+				jobs = append(jobs, j)
+			}
+			got, err := sess.Resolve(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oneShot.Schedule(&job.Instance{M: in.M, Jobs: jobs}, Exact())
+			if err != nil {
+				t.Fatal(err)
+			}
+			comparePhases(t, seed*100+int64(step), got.Res, want)
+		}
+	}
+}
+
+// flatSession builds an instance whose jobs all share the window
+// [0, 10]: the event-point partition is a single interval and survives
+// any removal, so every remove/cap delta stays on the persistent
+// network — the family the incremental-reuse assertions run on.
+func flatSession(n int) *job.Instance {
+	jobs := make([]job.Job, n)
+	for i := range jobs {
+		jobs[i] = job.Job{ID: i + 1, Release: 0, Deadline: 10, Work: 1 + 0.1*float64(i%5)}
+	}
+	return &job.Instance{M: 3, Jobs: jobs}
+}
+
+// Delta resolves must ride the warm network: after the first resolve
+// builds it, remove/cap deltas may not rebuild (opt.graph_rebuilds
+// frozen) while every resolve stays bit-identical to one-shot.
+func TestSessionIncrementalReuse(t *testing.T) {
+	in := flatSession(16)
+	rec := obs.New()
+	sess, err := NewSolver().NewSession(in, WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sess.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Incremental {
+		t.Fatal("first resolve reported incremental")
+	}
+	base := rec.Snapshot().Counters
+	if got := base["opt.session_net_builds"]; got != 1 {
+		t.Fatalf("opt.session_net_builds=%d after first resolve, want 1", got)
+	}
+	rebuilds0 := base["opt.graph_rebuilds"]
+
+	jobs := append([]job.Job(nil), in.Jobs...)
+	oneShot := NewSolver()
+	const deltas = 6
+	for i := 0; i < deltas; i++ {
+		if err := sess.RemoveJob(jobs[0].ID); err != nil {
+			t.Fatal(err)
+		}
+		jobs = jobs[1:]
+		if i%2 == 1 {
+			if err := sess.SetCap(1000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := sess.Resolve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Incremental {
+			t.Fatalf("delta %d: resolve did not reuse the warm network", i)
+		}
+		if got.Cap > 0 && !got.CapFeasible {
+			t.Fatalf("delta %d: cap 1000 reported infeasible", i)
+		}
+		want, err := oneShot.Schedule(&job.Instance{M: in.M, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePhases(t, int64(i), got.Res, want)
+	}
+	snap := rec.Snapshot().Counters
+	if got := snap["opt.graph_rebuilds"]; got != rebuilds0 {
+		t.Fatalf("opt.graph_rebuilds grew across deltas: %d -> %d", rebuilds0, got)
+	}
+	if got := snap["opt.session_attaches"]; got != deltas {
+		t.Fatalf("opt.session_attaches=%d, want %d", got, deltas)
+	}
+	if snap["flow.warm_hits"] == 0 {
+		t.Fatal("no flow.warm_hits recorded across warm delta resolves")
+	}
+	if got := snap["opt.session_capnet_builds"]; got != 1 {
+		t.Fatalf("opt.session_capnet_builds=%d, want 1", got)
+	}
+}
+
+// Removing a job whose window endpoints are unique changes the
+// event-point partition: the resolve must fall back to a rebuild
+// (Incremental=false) and still match one-shot bit-exactly.
+func TestSessionPartitionChangeRebuilds(t *testing.T) {
+	jobs := []job.Job{
+		{ID: 1, Release: 0, Deadline: 4, Work: 3},
+		{ID: 2, Release: 1, Deadline: 5, Work: 2},
+		{ID: 3, Release: 2, Deadline: 9, Work: 4},
+		{ID: 4, Release: 0, Deadline: 9, Work: 1},
+	}
+	in := &job.Instance{M: 2, Jobs: jobs}
+	sess, err := NewSolver().NewSession(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Resolve(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Job 2's endpoints 1 and 5 are not shared with any other job.
+	if err := sess.RemoveJob(2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Incremental {
+		t.Fatal("resolve after a partition-changing removal reported incremental")
+	}
+	want, err := NewSolver().Schedule(&job.Instance{M: 2, Jobs: []job.Job{jobs[0], jobs[2], jobs[3]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePhases(t, 0, got.Res, want)
+}
+
+// The persistent cap network must render feasibleProbe's verdict for
+// every cap retune and across removals.
+func TestSessionCapFeasibleMatchesProbe(t *testing.T) {
+	in := flatSession(12)
+	sess, err := NewSolver().NewSession(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := append([]job.Job(nil), in.Jobs...)
+	caps := []float64{1000, 0.1, 2, 0.3, 50}
+	for i, c := range caps {
+		if i == 2 {
+			// Exercise the cap network's incremental removal path too.
+			if err := sess.RemoveJob(jobs[0].ID); err != nil {
+				t.Fatal(err)
+			}
+			jobs = jobs[1:]
+		}
+		if err := sess.SetCap(c); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.Resolve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := &job.Instance{M: in.M, Jobs: jobs}
+		want, err := FeasibleAtSpeedCtx(context.Background(), cur, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.CapFeasible != want {
+			t.Fatalf("cap %v: session verdict %v, probe says %v", c, got.CapFeasible, want)
+		}
+	}
+}

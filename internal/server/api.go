@@ -78,6 +78,39 @@ type MinCapResponse struct {
 	Cap float64 `json:"cap"`
 }
 
+// SessionDeltaRequest is the body of POST /v1/session/{id}/delta: a
+// batch of mutations applied atomically (all validated before any is
+// applied) followed by one incremental re-solve. Removes apply before
+// adds, so one delta can replace a job under the same ID.
+type SessionDeltaRequest struct {
+	AddJobs   []mpss.Job `json:"add_jobs,omitempty"`
+	RemoveIDs []int      `json:"remove_ids,omitempty"`
+	// Cap retunes the session's speed cap when present; 0 clears it.
+	Cap *float64 `json:"cap,omitempty"`
+	// TimeoutMS overrides the per-delta solve deadline (capped at the
+	// server default; 0 = use the default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SessionResponse is the body returned by session create, delta and
+// long-poll calls: the session coordinates plus the latest resolve.
+type SessionResponse struct {
+	SessionID string `json:"session_id"`
+	// Seq increments on every published resolve; long-poll with
+	// ?wait_seq=<last seen> to block until a newer one exists.
+	Seq  int64 `json:"seq"`
+	Jobs int   `json:"jobs"`
+	// Incremental reports that the resolve rode the warm persistent
+	// network instead of rebuilding it.
+	Incremental bool            `json:"incremental"`
+	Energy      float64         `json:"energy"`
+	Alpha       float64         `json:"alpha"`
+	Cap         float64         `json:"cap,omitempty"`
+	CapFeasible *bool           `json:"cap_feasible,omitempty"`
+	Phases      []PhaseResponse `json:"phases"`
+	Schedule    *mpss.Schedule  `json:"schedule"`
+}
+
 // HealthResponse is the body of the probe endpoints. /v1/healthz
 // (liveness) always reports "ok"; /v1/readyz (readiness) reports
 // "ready", "draining" once shutdown began, or "saturated" while the

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"math"
+
+	"mpss/internal/flow"
 )
 
 // requestKey computes the canonical cache key of a solve request: a
@@ -14,7 +16,20 @@ import (
 // same job set are distinct requests. Float fields are hashed by their
 // IEEE-754 bits: the solver is bit-deterministic, so bit-equal inputs
 // are exactly the requests with bit-equal responses.
+//
+// Defaultable knobs are normalized before hashing: alpha 0 means the
+// server default 3, rel <= 0 means the solver's default tolerance, and
+// the solve path resolves them to the same values — so the spelled-out
+// and elided forms of one request share a cache entry and a flight.
 func requestKey(kind string, req *SolveRequest) string {
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = 3
+	}
+	rel := req.Rel
+	if rel <= 0 {
+		rel = flow.SolveTolerance
+	}
 	h := sha256.New()
 	var buf [8]byte
 	u64 := func(v uint64) {
@@ -26,14 +41,14 @@ func requestKey(kind string, req *SolveRequest) string {
 	h.Write([]byte(kind))
 	h.Write([]byte{0})
 	u64(uint64(req.M))
-	f64(req.Alpha)
+	f64(alpha)
 	if req.Exact {
 		h.Write([]byte{1})
 	} else {
 		h.Write([]byte{0})
 	}
 	f64(req.Cap)
-	f64(req.Rel)
+	f64(rel)
 	u64(uint64(len(req.Jobs)))
 	for _, j := range req.Jobs {
 		u64(uint64(j.ID))

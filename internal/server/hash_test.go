@@ -1,0 +1,47 @@
+package server
+
+import (
+	"testing"
+
+	"mpss/internal/flow"
+)
+
+// The cache key must not distinguish a request that spells out a
+// default from one that elides it: alpha 0 means 3, rel <= 0 means the
+// solver's default tolerance, and the solve path resolves both the same
+// way — distinct keys would split one logical request across cache
+// entries and flights.
+func TestRequestKeyNormalizesDefaults(t *testing.T) {
+	jobs, m := testInstance()
+	base := SolveRequest{M: m, Jobs: jobs}
+
+	withAlpha := base
+	withAlpha.Alpha = 3
+	if requestKey("optimal", &base) != requestKey("optimal", &withAlpha) {
+		t.Error("alpha elided vs alpha:3 produced different keys")
+	}
+
+	withRel := base
+	withRel.Rel = flow.SolveTolerance
+	if requestKey("mincap", &base) != requestKey("mincap", &withRel) {
+		t.Error("rel elided vs rel:default produced different keys")
+	}
+
+	negRel := base
+	negRel.Rel = -1
+	if requestKey("mincap", &base) != requestKey("mincap", &negRel) {
+		t.Error("rel:-1 did not normalize to the default tolerance")
+	}
+
+	otherAlpha := base
+	otherAlpha.Alpha = 2
+	if requestKey("optimal", &base) == requestKey("optimal", &otherAlpha) {
+		t.Error("alpha:2 collided with the default alpha")
+	}
+
+	otherRel := base
+	otherRel.Rel = 0.5
+	if requestKey("mincap", &base) == requestKey("mincap", &otherRel) {
+		t.Error("rel:0.5 collided with the default rel")
+	}
+}

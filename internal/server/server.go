@@ -31,22 +31,34 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve/optimal  offline optimal schedule (optionally exact)
-//	POST /v1/solve/oa       online Optimal Available simulation
-//	POST /v1/solve/avr      online Average Rate simulation
-//	POST /v1/solve/atcap    fixed-frequency schedule at a speed cap
-//	POST /v1/feasible       one feasibility probe at a speed cap
-//	POST /v1/mincap         minimum feasible speed cap
-//	GET  /v1/healthz        liveness (always "ok" while the process serves)
-//	GET  /v1/readyz         readiness ("ready" / "draining" / "saturated")
-//	GET  /v1/metrics        observability snapshot (counters, histograms)
-//	GET  /metrics           Prometheus text exposition (version 0.0.4)
-//	GET  /v1/debug/traces   flight recorder (recent + slowest span trees)
+//	POST   /v1/solve/optimal     offline optimal schedule (optionally exact)
+//	POST   /v1/solve/oa          online Optimal Available simulation
+//	POST   /v1/solve/avr         online Average Rate simulation
+//	POST   /v1/solve/atcap       fixed-frequency schedule at a speed cap
+//	POST   /v1/feasible          one feasibility probe at a speed cap
+//	POST   /v1/mincap            minimum feasible speed cap
+//	POST   /v1/session           open a streaming session (warm instance)
+//	POST   /v1/session/{id}/delta  mutate + incrementally re-solve
+//	GET    /v1/session/{id}      latest resolve (long-poll with wait_seq)
+//	DELETE /v1/session/{id}      tear the session down
+//	GET    /v1/healthz           liveness (always "ok" while serving)
+//	GET    /v1/readyz            readiness ("ready"/"draining"/"saturated")
+//	GET    /v1/metrics           observability snapshot
+//	GET    /metrics              Prometheus text exposition (version 0.0.4)
+//	GET    /v1/debug/traces      flight recorder (recent + slowest spans)
+//
+// Streaming sessions (DESIGN.md §13) pin a named instance to one
+// worker's warm solver: each delta re-solves incrementally on the
+// persistent flow network instead of from scratch. Session tasks are
+// routed through per-worker affinity queues so a session's solver is
+// only ever touched by its owner worker; a janitor evicts sessions idle
+// past SessionTTL.
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -96,6 +108,16 @@ type Config struct {
 	// FlightEntries most recent and FlightEntries slowest request span
 	// trees for /v1/debug/traces. Default 64; negative disables.
 	FlightEntries int
+	// SessionTTL evicts streaming sessions idle longer than this
+	// (default 10m; negative disables eviction).
+	SessionTTL time.Duration
+	// MaxSessions bounds concurrently open streaming sessions; creation
+	// beyond it is rejected with 503 (default 256).
+	MaxSessions int
+	// SessionMaxJobs bounds one session's job set — the per-session
+	// memory bound; a create or delta that would exceed it is rejected
+	// with 413 (default 100000).
+	SessionMaxJobs int
 }
 
 func (c *Config) applyDefaults() {
@@ -131,6 +153,15 @@ func (c *Config) applyDefaults() {
 	if c.FlightEntries == 0 {
 		c.FlightEntries = 64
 	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionMaxJobs <= 0 {
+		c.SessionMaxJobs = 100_000
+	}
 }
 
 // task is one admitted solve request: the worker executes exec on its
@@ -138,12 +169,16 @@ func (c *Config) applyDefaults() {
 // admission queue (waited is written by the worker before done closes,
 // read by the handler after — ordered by the channel close).
 type task struct {
-	ctx      context.Context
-	exec     func(sess *session) response
-	resp     response
-	done     chan struct{}
-	enqueued time.Time
-	waited   time.Duration
+	ctx context.Context
+	// clientCtx is the bare request context (no server deadline): the
+	// worker consults it to tell a client disconnect (499) apart from a
+	// deadline that expired while the task queued (504).
+	clientCtx context.Context
+	exec      func(sess *session) response
+	resp      response
+	done      chan struct{}
+	enqueued  time.Time
+	waited    time.Duration
 }
 
 // session is the per-worker solver state: one mpss.Solver whose arenas
@@ -167,11 +202,18 @@ type Server struct {
 	cache  *resultCache
 	flight *flightRecorder
 	queue  chan *task
+	// sessQ[i] is worker i's session-affinity queue: tasks touching a
+	// streaming session are routed to the one worker owning its solver.
+	sessQ    []chan *task
+	sessions *sessionRegistry
+	sf       flightGroup // coalesces duplicate concurrent solves
 
 	workers  sync.WaitGroup // worker goroutines
 	inflight sync.WaitGroup // admitted, not yet answered tasks
 
-	mu       sync.RWMutex // guards draining and the queue close
+	janitorStop chan struct{}
+
+	mu       sync.RWMutex // guards draining and the queue closes
 	draining bool
 }
 
@@ -179,19 +221,32 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.applyDefaults()
 	s := &Server{
-		cfg:    cfg,
-		rec:    cfg.Recorder,
-		log:    cfg.Logger,
-		mux:    http.NewServeMux(),
-		cache:  newResultCache(cfg.CacheEntries),
-		flight: newFlightRecorder(cfg.FlightEntries),
-		queue:  make(chan *task, cfg.QueueDepth),
+		cfg:         cfg,
+		rec:         cfg.Recorder,
+		log:         cfg.Logger,
+		mux:         http.NewServeMux(),
+		cache:       newResultCache(cfg.CacheEntries),
+		flight:      newFlightRecorder(cfg.FlightEntries),
+		queue:       make(chan *task, cfg.QueueDepth),
+		sessQ:       make([]chan *task, cfg.Workers),
+		sessions:    newSessionRegistry(),
+		janitorStop: make(chan struct{}),
+	}
+	for i := range s.sessQ {
+		// Session queues are shallow: a session serializes its deltas
+		// anyway, and rejecting with 503 beats queuing behind a stranger's
+		// long solve.
+		s.sessQ[i] = make(chan *task, 16)
 	}
 	for _, ep := range [...]string{"optimal", "oa", "avr", "atcap"} {
 		s.mux.HandleFunc("/v1/solve/"+ep, s.instrument(ep, s.solveHandler(ep)))
 	}
 	s.mux.HandleFunc("/v1/feasible", s.instrument("feasible", s.solveHandler("feasible")))
 	s.mux.HandleFunc("/v1/mincap", s.instrument("mincap", s.solveHandler("mincap")))
+	s.mux.HandleFunc("POST /v1/session", s.instrument("session_create", s.handleSessionCreate))
+	s.mux.HandleFunc("POST /v1/session/{id}/delta", s.instrument("session_delta", s.handleSessionDelta))
+	s.mux.HandleFunc("GET /v1/session/{id}", s.instrument("session_get", s.handleSessionGet))
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.instrument("session_delete", s.handleSessionDelete))
 	s.mux.HandleFunc("/v1/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.HandleFunc("/v1/metrics", s.instrument("metrics", s.handleMetrics))
@@ -199,8 +254,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/debug/traces", s.instrument("traces", s.handleTraces))
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
+	go s.sessionJanitor()
 	return s
 }
 
@@ -218,23 +274,47 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // worker is one solver loop: it owns a session for its lifetime and
-// executes queued tasks until the queue closes at drain time.
-func (s *Server) worker() {
+// executes tasks from the shared queue and its own session-affinity
+// queue until both close at drain time.
+func (s *Server) worker(i int) {
 	defer s.workers.Done()
 	// The session solver records into the shared (concurrency-safe)
 	// recorder, so /v1/metrics shows solver counters — rounds, warm
 	// hits, fallbacks — across all workers.
 	sess := &session{solver: mpss.NewSolver(mpss.WithRecorder(s.rec))}
-	for t := range s.queue {
+	shared, own := s.queue, s.sessQ[i]
+	for shared != nil || own != nil {
+		var t *task
+		var ok bool
+		select {
+		case t, ok = <-shared:
+			if !ok {
+				shared = nil
+				continue
+			}
+		case t, ok = <-own:
+			if !ok {
+				own = nil
+				continue
+			}
+		}
 		if testHookTaskStart != nil {
 			testHookTaskStart()
 		}
 		t.waited = time.Since(t.enqueued)
-		// A task whose client is already gone (or whose deadline passed
-		// while queued) is not worth starting.
+		// A task whose context died while queued is not worth starting —
+		// but the reason decides the status: a deadline that expired with
+		// the client still connected is the server's failure to schedule
+		// in time (504), while a client that hung up is 499.
 		if err := t.ctx.Err(); err != nil {
-			s.rec.Add("server.canceled", 1)
-			t.resp = errorResponse(StatusClientClosedRequest, "canceled", err.Error())
+			clientGone := t.clientCtx != nil && t.clientCtx.Err() != nil
+			if errors.Is(err, context.DeadlineExceeded) && !clientGone {
+				s.rec.Add("server.deadline_exceeded", 1)
+				t.resp = errorResponse(http.StatusGatewayTimeout, "canceled", "deadline expired while queued: "+err.Error())
+			} else {
+				s.rec.Add("server.canceled", 1)
+				t.resp = errorResponse(StatusClientClosedRequest, "canceled", err.Error())
+			}
 		} else {
 			t.resp = s.runTask(t, sess)
 		}
@@ -256,17 +336,23 @@ func (s *Server) runTask(t *task, sess *session) (resp response) {
 	return t.exec(sess)
 }
 
-// admit enqueues a task unless the server is draining or the queue is
-// full. It holds the read lock across the send so Shutdown's queue
-// close (under the write lock) cannot race a send on a closed channel.
-func (s *Server) admit(t *task) bool {
+// admit enqueues a task on the shared queue unless the server is
+// draining or the queue is full.
+func (s *Server) admit(t *task) bool { return s.admitTo(s.queue, t) }
+
+// admitTo enqueues a task on the given queue (the shared queue or a
+// worker's session-affinity queue) unless the server is draining or the
+// queue is full. It holds the read lock across the send so Shutdown's
+// queue close (under the write lock) cannot race a send on a closed
+// channel.
+func (s *Server) admitTo(q chan *task, t *task) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.draining {
 		return false
 	}
 	select {
-	case s.queue <- t:
+	case q <- t:
 		s.inflight.Add(1)
 		return true
 	default:
@@ -287,14 +373,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 
+	if !already {
+		close(s.janitorStop)
+	}
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
 		if !already {
 			// All admitted tasks are answered and no further admit can
-			// succeed; the queue is empty and safe to close.
+			// succeed; the queues are empty and safe to close.
 			s.mu.Lock()
 			close(s.queue)
+			for _, q := range s.sessQ {
+				close(q)
+			}
 			s.mu.Unlock()
 		}
 		s.workers.Wait()
@@ -339,51 +431,92 @@ func (s *Server) solveHandler(kind string) http.HandlerFunc {
 		}
 		s.rec.Add("server.cache_misses", 1)
 
-		timeout := s.cfg.DefaultTimeout
-		if req.TimeoutMS > 0 {
-			if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
-				timeout = d
+		// runSolve is the full admission path: deadline, queue, worker,
+		// wait. Run by the flight leader (and by a follower whose leader
+		// came back with an uncacheable answer).
+		runSolve := func() response {
+			timeout := s.cfg.DefaultTimeout
+			if req.TimeoutMS > 0 {
+				if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+					timeout = d
+				}
 			}
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), timeout)
-		defer cancel()
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
 
-		var span *obs.Span
-		if s.cfg.TraceRequests {
-			span = s.rec.StartSpan("request " + kind)
-			span.SetTag("request_id", reqID)
-			defer span.End()
+			var span *obs.Span
+			if s.cfg.TraceRequests {
+				span = s.rec.StartSpan("request " + kind)
+				span.SetTag("request_id", reqID)
+				defer span.End()
+			}
+
+			t := &task{
+				ctx:       ctx,
+				clientCtx: r.Context(),
+				exec: func(sess *session) response {
+					// The solve runs as a child of the flight-recorder request
+					// span, so queue wait and solve time separate in the trace.
+					solveSpan := spanFromContext(ctx).StartSpan("solve " + kind)
+					defer solveSpan.End()
+					return s.solve(ctx, kind, &req, sess, r)
+				},
+				done:     make(chan struct{}),
+				enqueued: time.Now(),
+			}
+			if !s.admit(t) {
+				s.rec.Add("server.rejected", 1)
+				return errorResponse(http.StatusServiceUnavailable, "overloaded", "solver queue full or server draining")
+			}
+			// The worker always answers: a canceled context unwinds the solve
+			// at its next phase/round boundary, so this wait is bounded.
+			<-t.done
+			s.inflight.Done()
+			s.rec.Observe("server.queue_wait_seconds", t.waited.Seconds())
+			span.Add("status", int64(t.resp.code))
+			spanFromContext(r.Context()).SetValue("queue_wait_seconds", t.waited.Seconds())
+			return t.resp
 		}
 
-		t := &task{
-			ctx: ctx,
-			exec: func(sess *session) response {
-				// The solve runs as a child of the flight-recorder request
-				// span, so queue wait and solve time separate in the trace.
-				solveSpan := spanFromContext(ctx).StartSpan("solve " + kind)
-				defer solveSpan.End()
-				return s.solve(ctx, kind, &req, sess, r)
-			},
-			done:     make(chan struct{}),
-			enqueued: time.Now(),
-		}
-		if !s.admit(t) {
-			s.rec.Add("server.rejected", 1)
-			errorResponse(http.StatusServiceUnavailable, "overloaded", "solver queue full or server draining").write(w, reqID)
+		// Coalesce the stampede: concurrent identical requests (same key,
+		// result not cached yet) share one solve instead of queuing one
+		// each.
+		call, leader := s.sf.join(key)
+		if !leader {
+			s.rec.Add("server.coalesced", 1)
+			spanFromContext(r.Context()).SetTag("flight", "coalesced")
+			select {
+			case <-call.done:
+				if call.resp.cacheable() {
+					call.resp.write(w, reqID)
+					return
+				}
+				// The leader's answer was transient (5xx/503/timeout) — it
+				// may have been the leader's own short deadline. Solve solo
+				// rather than replaying a failure that may not be ours.
+			case <-r.Context().Done():
+				s.rec.Add("server.canceled", 1)
+				errorResponse(StatusClientClosedRequest, "canceled", r.Context().Err().Error()).write(w, reqID)
+				return
+			}
+			resp := runSolve()
+			if resp.cacheable() {
+				s.cache.Put(key, resp)
+			}
+			resp.write(w, reqID)
 			return
 		}
-		// The worker always answers: a canceled context unwinds the solve
-		// at its next phase/round boundary, so this wait is bounded.
-		<-t.done
-		s.inflight.Done()
-		s.rec.Observe("server.queue_wait_seconds", t.waited.Seconds())
-		span.Add("status", int64(t.resp.code))
-		spanFromContext(r.Context()).SetValue("queue_wait_seconds", t.waited.Seconds())
-
-		if t.resp.cacheable() {
-			s.cache.Put(key, t.resp)
+		var resp response
+		func() {
+			// finish runs even if runSolve panics: followers then observe a
+			// zero (uncacheable) response and solve on their own.
+			defer func() { s.sf.finish(key, call, resp) }()
+			resp = runSolve()
+		}()
+		if resp.cacheable() {
+			s.cache.Put(key, resp)
 		}
-		t.resp.write(w, reqID)
+		resp.write(w, reqID)
 	}
 }
 

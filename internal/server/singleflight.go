@@ -1,0 +1,48 @@
+package server
+
+import "sync"
+
+// flightCall is one in-flight solve shared by every concurrently-arrived
+// request with the same requestKey. done is closed once resp is set; a
+// zero resp (code 0) signals the leader aborted without producing an
+// answer, and followers must solve on their own.
+type flightCall struct {
+	done chan struct{}
+	resp response
+}
+
+// flightGroup coalesces duplicate concurrent solves: the first request
+// for a key becomes the leader and actually runs it; later arrivals for
+// the same key (a cache stampede — the result is not cached *yet*) wait
+// on the leader's call instead of queuing their own solve. Entries live
+// only while the leader runs; completed results are the cache's job.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// join returns the call for key, creating it if absent. The creator is
+// the leader (second return true) and must eventually call finish.
+func (g *flightGroup) join(key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	return c, true
+}
+
+// finish publishes the leader's response to the call's followers and
+// retires the key so the next miss starts a fresh flight.
+func (g *flightGroup) finish(key string, c *flightCall, resp response) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.resp = resp
+	close(c.done)
+}

@@ -325,14 +325,17 @@ func TestReadyz(t *testing.T) {
 	}
 
 	// Hold the worker and fill the queue: readiness must flip to
-	// saturated while liveness stays ok.
+	// saturated while liveness stays ok. Distinct alphas keep the two
+	// requests separate flights (identical bodies would coalesce).
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			post(t, ts.URL+"/v1/solve/optimal", req)
-		}()
+			r := req
+			r.Alpha = float64(2 + i)
+			post(t, ts.URL+"/v1/solve/optimal", r)
+		}(i)
 	}
 	<-started
 	waitFor(t, func() bool { return len(s.queue) == 1 })

@@ -1,0 +1,168 @@
+#!/bin/sh
+# Streaming-session smoke test: build mpss-served, boot it with a short
+# session TTL, open a session, stream remove/add/cap deltas, check each
+# delta's energy against the one-shot /v1/solve/optimal answer for the
+# same job set, long-poll the latest resolve, delete the session, let a
+# second session expire past the TTL, then SIGTERM and require a clean
+# drain. Complements the in-process httptest suite by covering the real
+# binary's session flags and the wire protocol end to end.
+#
+# Run from the repository root (make session-smoke does).
+set -u
+
+GO=${GO:-go}
+CURL=${CURL:-curl}
+tmp=$(mktemp -d)
+fail=0
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+if ! command -v "$CURL" >/dev/null 2>&1; then
+    echo "session-smoke: skipped ($CURL not available)" >&2
+    exit 0
+fi
+
+if ! $GO build -o "$tmp/mpss-served" ./cmd/mpss-served; then
+    echo "session-smoke: build failed" >&2
+    exit 1
+fi
+
+"$tmp/mpss-served" -addr 127.0.0.1:0 -workers 2 -session-ttl 2s 2>"$tmp/served.err" &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/.*"msg":"listening".*"addr":"\([^"]*\)".*/\1/p' "$tmp/served.err" | head -n 1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "session-smoke: daemon died before readiness:" >&2
+        sed 's/^/    /' "$tmp/served.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "session-smoke: no readiness record within 10s" >&2
+    exit 1
+fi
+base="http://$addr"
+
+# jsonfield FILE NAME — extracts a scalar JSON field (number or string).
+jsonfield() {
+    sed -n "s/.*\"$2\":\"\{0,1\}\([^,\"}]*\)\"\{0,1\}[,}].*/\1/p" "$1" | head -n 1
+}
+
+# req NAME METHOD WANT_STATUS URL [BODY] — issues the request, checks
+# the status, leaves the body in $tmp/body.
+req() {
+    name=$1 method=$2 want=$3 url=$4
+    if [ $# -ge 5 ]; then
+        status=$($CURL -s -X "$method" -o "$tmp/body" -w '%{http_code}' -d "$5" "$base$url")
+    else
+        status=$($CURL -s -X "$method" -o "$tmp/body" -w '%{http_code}' "$base$url")
+    fi
+    if [ "$status" != "$want" ]; then
+        echo "session-smoke: $name: status $status, want $want" >&2
+        sed 's/^/    /' "$tmp/body" >&2
+        fail=1
+    fi
+}
+
+# oneshot JOBS — solves {m:2, jobs:JOBS} one-shot and prints the energy.
+oneshot() {
+    $CURL -s -d "{\"m\":2,\"jobs\":$1}" "$base/v1/solve/optimal" >"$tmp/oneshot"
+    jsonfield "$tmp/oneshot" energy
+}
+
+# checkenergy NAME JOBS — requires $tmp/body's energy == one-shot(JOBS).
+checkenergy() {
+    got=$(jsonfield "$tmp/body" energy)
+    want=$(oneshot "$2")
+    if [ -z "$got" ] || [ "$got" != "$want" ]; then
+        echo "session-smoke: $1: session energy \"$got\", one-shot \"$want\"" >&2
+        fail=1
+    fi
+}
+
+j1='{"id":1,"release":0,"deadline":4,"work":8}'
+j2='{"id":2,"release":1,"deadline":5,"work":2}'
+j3='{"id":3,"release":2,"deadline":6,"work":3}'
+
+# Open the session and compare the initial resolve to one-shot.
+req "create" POST 200 /v1/session "{\"m\":2,\"jobs\":[$j1,$j2]}"
+sid=$(jsonfield "$tmp/body" session_id)
+if [ -z "$sid" ]; then
+    echo "session-smoke: create returned no session_id" >&2
+    sed 's/^/    /' "$tmp/body" >&2
+    exit 1
+fi
+checkenergy "create" "[$j1,$j2]"
+
+# Stream deltas: add, remove, cap retune — each against one-shot.
+req "delta add" POST 200 "/v1/session/$sid/delta" "{\"add_jobs\":[$j3]}"
+checkenergy "delta add" "[$j1,$j2,$j3]"
+
+req "delta remove" POST 200 "/v1/session/$sid/delta" '{"remove_ids":[1]}'
+checkenergy "delta remove" "[$j2,$j3]"
+
+req "delta cap" POST 200 "/v1/session/$sid/delta" '{"cap":1000}'
+if ! grep -q '"cap_feasible":true' "$tmp/body"; then
+    echo "session-smoke: delta cap: cap 1000 not reported feasible:" >&2
+    sed 's/^/    /' "$tmp/body" >&2
+    fail=1
+fi
+
+# The latest resolve is served on GET; seq counts the four publishes.
+req "get" GET 200 "/v1/session/$sid"
+seq=$(jsonfield "$tmp/body" seq)
+if [ "$seq" != "4" ]; then
+    echo "session-smoke: get: seq \"$seq\", want 4" >&2
+    fail=1
+fi
+
+# Session counters made it to the metrics surface.
+req "metrics" GET 200 /v1/metrics
+if ! grep -q '"server.delta_solves": *3' "$tmp/body"; then
+    echo "session-smoke: metrics: server.delta_solves != 3:" >&2
+    grep -o '"server\.[a-z_]*": *[0-9-]*' "$tmp/body" | sed 's/^/    /' >&2
+    fail=1
+fi
+
+# Teardown: DELETE, then everything under the ID is 404.
+req "delete" DELETE 204 "/v1/session/$sid"
+req "get after delete" GET 404 "/v1/session/$sid"
+
+# TTL: an idle session is evicted by the janitor.
+req "create evictee" POST 200 /v1/session "{\"m\":2,\"jobs\":[$j1]}"
+sid2=$(jsonfield "$tmp/body" session_id)
+sleep 3
+req "get after ttl" GET 404 "/v1/session/$sid2"
+req "metrics after ttl" GET 200 /v1/metrics
+if ! grep -q '"server.sessions_evicted": *1' "$tmp/body"; then
+    echo "session-smoke: metrics: server.sessions_evicted != 1" >&2
+    fail=1
+fi
+
+# Graceful drain with the session machinery running.
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "session-smoke: SIGTERM exit $rc, want 0:" >&2
+    sed 's/^/    /' "$tmp/served.err" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "session-smoke: FAIL" >&2
+    exit 1
+fi
+echo "session-smoke: ok"

@@ -2,6 +2,7 @@ package mpss
 
 import (
 	"context"
+	"fmt"
 
 	"mpss/internal/online"
 	"mpss/internal/opt"
@@ -35,8 +36,9 @@ func WithContext(ctx context.Context) SolveOption {
 // convenient one-shot form; they draw a pooled session per call and
 // return bit-identical results to the equivalent Solver method.
 type Solver struct {
-	cfg solveConfig
-	os  *opt.Solver
+	cfg  solveConfig
+	os   *opt.Solver
+	sess *opt.Session // active streaming session, nil outside Begin/End
 }
 
 // NewSolver returns a fresh solver session with the given default
@@ -123,6 +125,129 @@ func (s *Solver) FeasibleAtSpeedBatch(in *Instance, caps []float64, opts ...Solv
 func (s *Solver) MinFeasibleCap(in *Instance, rel float64, opts ...SolveOption) (float64, error) {
 	cfg := s.merge(opts)
 	return opt.MinFeasibleCapObserved(in, rel, cfg.rec, cfg.capOptions()...)
+}
+
+// SessionResult is the outcome of one Resolve of a streaming session:
+// the optimal schedule of the session's current job set, plus the
+// delta-solve metadata.
+type SessionResult struct {
+	Result *OptimalResult
+	// Incremental reports that the resolve warm-started from the
+	// previous resolve's flow network instead of rebuilding it.
+	Incremental bool
+	// Cap echoes the session's speed cap (0 = none); CapFeasible is the
+	// feasibility verdict at that cap, meaningful only when Cap > 0.
+	Cap         float64
+	CapFeasible bool
+}
+
+// Begin starts a streaming session over the instance: a mutable job set
+// revised by AddJob / RemoveJob / SetCap deltas and re-solved by
+// Resolve, which warm-starts from the previous resolve's flow network
+// whenever the mutations permit. Each Resolve returns bit-identical
+// results to a one-shot Solve of the session's current job set. Any
+// previously active session on this Solver is replaced.
+func (s *Solver) Begin(in *Instance, opts ...SolveOption) error {
+	return s.begin(in, false, opts)
+}
+
+// BeginExact is Begin with all phase decisions carried out in exact
+// rational arithmetic: every Resolve matches a one-shot SolveExact.
+func (s *Solver) BeginExact(in *Instance, opts ...SolveOption) error {
+	return s.begin(in, true, opts)
+}
+
+func (s *Solver) begin(in *Instance, exact bool, opts []SolveOption) error {
+	if err := ValidateInstance(in); err != nil {
+		return err
+	}
+	cfg := s.merge(opts)
+	optOpts := []opt.Option{
+		opt.WithRecorder(cfg.rec), opt.WithParallelism(cfg.par), opt.WithContext(cfg.ctx),
+		opt.WithContraction(!cfg.noContract),
+	}
+	if exact {
+		optOpts = append(optOpts, opt.Exact())
+	}
+	sess, err := s.os.NewSession(in, optOpts...)
+	if err != nil {
+		return err
+	}
+	s.sess = sess
+	return nil
+}
+
+// errNoSession is the uniform "mutation without Begin" failure; it
+// wraps ErrInvalidInstance so callers map it like any other bad input.
+func errNoSession() error {
+	return fmt.Errorf("mpss: no active session (call Begin first): %w", ErrInvalidInstance)
+}
+
+// AddJob appends a job to the active session. The job set changes
+// structurally, so the next Resolve rebuilds its network.
+func (s *Solver) AddJob(j Job) error {
+	if s.sess == nil {
+		return errNoSession()
+	}
+	return s.sess.AddJob(j)
+}
+
+// RemoveJob removes the job with the given ID from the active session,
+// draining its flow from the warm network in place — the incremental
+// mutation path a later Resolve re-augments from.
+func (s *Solver) RemoveJob(id int) error {
+	if s.sess == nil {
+		return errNoSession()
+	}
+	return s.sess.RemoveJob(id)
+}
+
+// SetCap retunes the active session's maximum-speed cap; 0 clears it.
+// While a cap is set, every Resolve also reports whether the current
+// job set remains feasible under it (SessionResult.CapFeasible).
+func (s *Solver) SetCap(cap float64) error {
+	if s.sess == nil {
+		return errNoSession()
+	}
+	return s.sess.SetCap(cap)
+}
+
+// Resolve solves the active session's current job set. Per-call options
+// may override the context; an error leaves the session usable (the
+// next Resolve rebuilds from scratch).
+func (s *Solver) Resolve(opts ...SolveOption) (*SessionResult, error) {
+	if s.sess == nil {
+		return nil, errNoSession()
+	}
+	cfg := s.merge(opts)
+	r, err := s.sess.Resolve(cfg.ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionResult{
+		Result:      r.Res,
+		Incremental: r.Incremental,
+		Cap:         r.Cap,
+		CapFeasible: r.CapFeasible,
+	}, nil
+}
+
+// SessionJobs returns a copy of the active session's current job set
+// (nil when no session is active).
+func (s *Solver) SessionJobs() []Job {
+	if s.sess == nil {
+		return nil
+	}
+	return s.sess.Jobs()
+}
+
+// End tears the active session down, releasing its persistent networks.
+// The Solver remains usable for one-shot solves and a later Begin.
+func (s *Solver) End() {
+	if s.sess != nil {
+		s.sess.Close()
+		s.sess = nil
+	}
 }
 
 // capOptions translates a solve config into the cap-search option set.

@@ -233,3 +233,120 @@ func TestFeasibleAtSpeedVariadic(t *testing.T) {
 		t.Fatalf("tiny cap: ok=%v err=%v, want infeasible", ok, err)
 	}
 }
+
+// TestStreamingSession pins the public session surface: Begin, the
+// AddJob/RemoveJob/SetCap deltas and Resolve, whose every result must be
+// bit-identical to a one-shot Solve of the session's current job set.
+func TestStreamingSession(t *testing.T) {
+	in, err := mpss.GenerateWorkload("bursty", mpss.WorkloadSpec{N: 16, M: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mpss.NewSolver()
+	if err := s.Begin(in); err != nil {
+		t.Fatal(err)
+	}
+	defer s.End()
+	oneShot := mpss.NewSolver()
+	jobs := append([]mpss.Job(nil), in.Jobs...)
+
+	check := func(step string, got *mpss.SessionResult) {
+		t.Helper()
+		want, err := oneShot.Solve(&mpss.Instance{M: in.M, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, jerr1 := json.Marshal(got.Result.Schedule)
+		b, jerr2 := json.Marshal(want.Schedule)
+		if jerr1 != nil || jerr2 != nil {
+			t.Fatalf("%s: marshal: %v %v", step, jerr1, jerr2)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("%s: session schedule differs from one-shot:\n%s\n%s", step, a, b)
+		}
+	}
+
+	res, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("initial", res)
+
+	if err := s.RemoveJob(jobs[2].ID); err != nil {
+		t.Fatal(err)
+	}
+	jobs = append(jobs[:2], jobs[3:]...)
+	if res, err = s.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	check("remove", res)
+
+	add := mpss.Job{ID: 999, Release: 1, Deadline: 6, Work: 2.5}
+	if err := s.AddJob(add); err != nil {
+		t.Fatal(err)
+	}
+	jobs = append(jobs, add)
+	if res, err = s.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	check("add", res)
+
+	if err := s.SetCap(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if res, err = s.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	check("cap", res)
+	if res.Cap != 1e6 || !res.CapFeasible {
+		t.Fatalf("cap resolve: Cap=%v CapFeasible=%v, want 1e6/true", res.Cap, res.CapFeasible)
+	}
+
+	// Error surface: duplicate add, unknown remove, mutations after End.
+	if err := s.AddJob(add); !errors.Is(err, mpss.ErrInvalidInstance) {
+		t.Fatalf("duplicate AddJob: err %v, want ErrInvalidInstance", err)
+	}
+	if err := s.RemoveJob(123456); !errors.Is(err, mpss.ErrInvalidInstance) {
+		t.Fatalf("unknown RemoveJob: err %v, want ErrInvalidInstance", err)
+	}
+	s.End()
+	s.End() // idempotent
+	if _, err := s.Resolve(); !errors.Is(err, mpss.ErrInvalidInstance) {
+		t.Fatalf("Resolve after End: err %v, want ErrInvalidInstance", err)
+	}
+	if err := s.AddJob(add); !errors.Is(err, mpss.ErrInvalidInstance) {
+		t.Fatalf("AddJob after End: err %v, want ErrInvalidInstance", err)
+	}
+}
+
+// TestStreamingSessionExact runs the same differential through the
+// exact rational engine.
+func TestStreamingSessionExact(t *testing.T) {
+	in, err := mpss.GenerateWorkload("uniform", mpss.WorkloadSpec{N: 8, M: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mpss.NewSolver()
+	if err := s.BeginExact(in); err != nil {
+		t.Fatal(err)
+	}
+	defer s.End()
+	jobs := append([]mpss.Job(nil), in.Jobs...)
+	if err := s.RemoveJob(jobs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	jobs = jobs[1:]
+	got, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mpss.NewSolver().SolveExact(&mpss.Instance{M: in.M, Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(got.Result.Schedule)
+	b, _ := json.Marshal(want.Schedule)
+	if string(a) != string(b) {
+		t.Fatalf("exact session differs from one-shot:\n%s\n%s", a, b)
+	}
+}
