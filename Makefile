@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke cli-smoke serve-smoke session-smoke loadgen-smoke fuzz-smoke contract-smoke clean
+.PHONY: all build test vet race verify bench bench-smoke cli-smoke serve-smoke session-smoke loadgen-smoke fuzz-smoke contract-smoke trace-smoke bench-trace clean
 
 all: verify
 
@@ -48,6 +48,12 @@ loadgen-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolvePipeline -fuzztime 20s .
 
+# trace-smoke streams a 50k-job diurnal trace through the decomposed
+# solve end to end: component counters asserted against the summary, a
+# 1-vs-4-worker differential, and the mpss-gen trace | mpss-opt pipe.
+trace-smoke:
+	sh scripts/trace_smoke.sh
+
 # contract-smoke runs the contracted-vs-raw differential solves under
 # the race detector: the contraction pass shares per-phase state with
 # the warm engine and the parallel flow dispatch, so one racy write
@@ -56,7 +62,7 @@ fuzz-smoke:
 contract-smoke:
 	$(GO) test -race -short -run 'TestContractedMatchesRaw|TestTwoTierCap' ./internal/opt/
 
-verify: build vet test race cli-smoke serve-smoke session-smoke loadgen-smoke
+verify: build vet test race cli-smoke serve-smoke session-smoke loadgen-smoke trace-smoke
 
 # bench runs the solver benchmark family (warm incremental engine vs the
 # cold per-round-rebuild baseline) and archives the numbers — ns/op,
@@ -71,6 +77,13 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkHistogram|BenchmarkLabeledCounter|BenchmarkWritePrometheus' \
 		-benchtime 100x -count 1 ./internal/obs/ | tee bench_obs.txt
 	$(GO) run ./cmd/benchjson -o BENCH_obs.json < bench_obs.txt >/dev/null
+	sh scripts/bench_trace.sh
+
+# bench-trace archives streamed-trace throughput (jobs/sec, peak RSS at
+# 100k and 1M jobs, decompose on vs bounded-off baseline) on its own;
+# BENCH_TRACE_OFF_TIMEOUT caps the monolithic baseline (see the script).
+bench-trace:
+	sh scripts/bench_trace.sh
 
 # bench-smoke is the fast CI variant: one iteration of the small sizes.
 bench-smoke:

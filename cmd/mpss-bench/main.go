@@ -43,6 +43,7 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "flow-solver workers inside each solve (<=1 sequential)")
 		contract   = flag.Bool("contract", true, "interval contraction in the offline solves (off = raw-graph A/B baseline)")
 		approx     = flag.Bool("approx", true, "approximate first tier for cap searches (off = raw probes only)")
+		decompose  = flag.Bool("decompose", false, "zero-active-boundary decomposition in the offline solves (bit-identical results)")
 		csvDir     = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
 		metricsOut = flag.String("metrics", "", "collect per-experiment solver metrics; print summaries and write them as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
@@ -67,6 +68,7 @@ func main() {
 	cfg.Parallelism = *parallel
 	cfg.NoContraction = !*contract
 	cfg.NoApprox = !*approx
+	cfg.Decompose = *decompose
 
 	if *csvDir != "" {
 		check(os.MkdirAll(*csvDir, 0o755))

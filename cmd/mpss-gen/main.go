@@ -4,12 +4,20 @@
 // Usage:
 //
 //	mpss-gen -workload bursty -n 20 -m 4 -seed 7 > instance.json
+//
+// The trace subcommand emits a cluster-trace-shaped workload in the
+// streaming mpss-trace-v1 JSONL format instead, writing jobs as they are
+// generated — a 10M-job trace streams straight to disk without ever
+// being held in memory:
+//
+//	mpss-gen trace -n 1000000 -m 8 -seed 1 -o trace.jsonl
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,6 +25,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceMain(os.Args[2:])
+		return
+	}
 	var (
 		name    = flag.String("workload", "uniform", "generator: "+strings.Join(mpss.Workloads(), ", "))
 		n       = flag.Int("n", 12, "number of jobs")
@@ -45,6 +57,46 @@ func main() {
 		return
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mpss-gen:", err)
+		os.Exit(1)
+	}
+}
+
+// traceMain streams a diurnal trace in the mpss-trace-v1 JSONL format.
+func traceMain(args []string) {
+	fs := flag.NewFlagSet("mpss-gen trace", flag.ExitOnError)
+	var (
+		n       = fs.Int("n", 10000, "number of jobs")
+		m       = fs.Int("m", 8, "number of processors")
+		seed    = fs.Int64("seed", 1, "random seed")
+		horizon = fs.Float64("horizon", 0, "total trace horizon (0 = 100 time units per wave)")
+		out     = fs.String("o", "", "output file (default stdout)")
+	)
+	fs.Parse(args)
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpss-gen:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mpss-gen:", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	tw, err := mpss.NewTraceWriter(w, *m)
+	if err == nil {
+		err = mpss.GenerateTrace(tw, mpss.WorkloadSpec{N: *n, M: *m, Seed: *seed, Horizon: *horizon})
+	}
+	if err == nil {
+		err = tw.Flush()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpss-gen:", err)
 		os.Exit(1)
 	}

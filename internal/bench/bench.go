@@ -51,11 +51,18 @@ type Config struct {
 	// NoApprox disables the approximate first tier of the cap searches
 	// (mpss-bench -approx=false). The returned caps do not change.
 	NoApprox bool
+
+	// Decompose turns on zero-active-boundary decomposition in every
+	// offline solve (mpss-bench -decompose). Results are bit-identical;
+	// only runtime changes, and only on separable instances.
+	Decompose bool
 }
 
-// contractOpt is the contraction toggle every experiment passes to
-// opt.Schedule, so one Config switch A/Bs the whole suite.
-func (c Config) contractOpt() opt.Option { return opt.WithContraction(!c.NoContraction) }
+// solveOpts is the A/B toggle set every experiment passes to
+// opt.Schedule, so one Config switch flips the whole suite.
+func (c Config) solveOpts() []opt.Option {
+	return []opt.Option{opt.WithContraction(!c.NoContraction), opt.WithDecomposition(c.Decompose)}
+}
 
 // Defaults returns the configuration used by EXPERIMENTS.md.
 func Defaults() Config { return Config{Seeds: 5, N: 12} }

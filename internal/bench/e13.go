@@ -48,9 +48,8 @@ func E13(cfg Config) ([]E13Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				optRes, err := opt.Schedule(in,
-					opt.WithParallelism(cfg.Parallelism), opt.WithRecorder(cfg.Recorder),
-					cfg.contractOpt())
+				optRes, err := opt.Schedule(in, append(cfg.solveOpts(),
+					opt.WithParallelism(cfg.Parallelism), opt.WithRecorder(cfg.Recorder))...)
 				if err != nil {
 					return nil, fmt.Errorf("E13 %s seed=%d: %w", gname, seed, err)
 				}

@@ -71,7 +71,7 @@ func E14(cfg Config) ([]E14Row, error) {
 					if err != nil {
 						return nil, err
 					}
-					optRes, err := opt.Schedule(in, cfg.contractOpt())
+					optRes, err := opt.Schedule(in, cfg.solveOpts()...)
 					if err != nil {
 						return nil, fmt.Errorf("E14 %s m=%d seed=%d: %w", gname, m, seed, err)
 					}

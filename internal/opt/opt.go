@@ -82,6 +82,7 @@ type config struct {
 	exact      bool
 	cold       bool
 	noContract bool
+	decompose  bool
 	tol        float64
 	par        int
 	rec        *obs.Recorder
@@ -118,6 +119,21 @@ func WithTolerance(tol float64) Option {
 // pseudo-code literally does.
 func WithContraction(on bool) Option {
 	return func(c *config) { c.noContract = !on }
+}
+
+// WithDecomposition toggles windowed decomposition (default off): before
+// choosing an engine, the solver sweeps the job windows for cut points no
+// window crosses, solves the resulting independent components separately
+// — fanned over WithParallelism workers — and merges the component
+// results into the Result a monolithic solve would return, bit for bit
+// (see decompose.go for the equivalence argument and the differential
+// suite for the proof). The fallback ladder applies per component.
+// Counters: "opt.components", "opt.decompose_cuts",
+// "opt.component_jobs_max" (the Add of each solve's largest component —
+// the recorder has no gauge primitive, so a single-solve reading is the
+// counter delta).
+func WithDecomposition(on bool) Option {
+	return func(c *config) { c.decompose = on }
 }
 
 // ParallelEdgeThreshold is the network size (in forward edges) above
@@ -228,6 +244,11 @@ func (s *Solver) Schedule(in *job.Instance, opts ...Option) (*Result, error) {
 	}
 	if err := validateForSolve(in); err != nil {
 		return nil, err
+	}
+	if cfg.decompose {
+		if comps := componentRanges(in.Jobs); len(comps) > 1 {
+			return scheduleDecomposed(in, comps, &cfg, opts)
+		}
 	}
 	if cfg.exact {
 		s.ee.cold = cfg.cold

@@ -23,6 +23,11 @@ type SolveRequest struct {
 	Alpha float64 `json:"alpha,omitempty"`
 	// Exact switches /v1/solve/optimal to exact rational arithmetic.
 	Exact bool `json:"exact,omitempty"`
+	// Decompose overrides the server's decomposition default for
+	// /v1/solve/optimal (nil = use the server default). The schedule is
+	// bit-identical either way, so the knob does not participate in the
+	// cache key.
+	Decompose *bool `json:"decompose,omitempty"`
 	// Cap is the speed cap probed by /v1/feasible.
 	Cap float64 `json:"cap,omitempty"`
 	// Rel is the relative tolerance of /v1/mincap (0 = solver default).
@@ -40,6 +45,11 @@ type PhaseResponse struct {
 }
 
 // OptimalResponse is the body of a successful /v1/solve/optimal call.
+// Energy, Phases and Schedule are bit-deterministic for a given
+// instance regardless of solve strategy; Rounds is solver telemetry
+// (max-flow rounds executed) and depends on it — a decomposed solve
+// runs fewer rounds than a monolithic one, and a cache-replayed body
+// reports the rounds of whichever solve populated the entry.
 type OptimalResponse struct {
 	Energy   float64         `json:"energy"`
 	Alpha    float64         `json:"alpha"`

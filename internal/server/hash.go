@@ -21,6 +21,13 @@ import (
 // server default 3, rel <= 0 means the solver's default tolerance, and
 // the solve path resolves them to the same values — so the spelled-out
 // and elided forms of one request share a cache entry and a flight.
+//
+// The decompose knob is deliberately EXCLUDED: decomposition produces a
+// bit-identical schedule (the differential suite in internal/opt pins
+// this), so a decomposed and a monolithic solve of the same instance
+// are one logical request and must share a cache entry and a flight.
+// (Only the telemetry "rounds" field of the body depends on the
+// strategy; see OptimalResponse.)
 func requestKey(kind string, req *SolveRequest) string {
 	alpha := req.Alpha
 	if alpha == 0 {

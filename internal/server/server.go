@@ -118,6 +118,12 @@ type Config struct {
 	// memory bound; a create or delta that would exceed it is rejected
 	// with 413 (default 100000).
 	SessionMaxJobs int
+	// Decompose turns on zero-active-boundary decomposition for
+	// /v1/solve/optimal (default off); a request's "decompose" field
+	// overrides it either way. Results are bit-identical with or
+	// without, so the knob is purely a latency lever for servers whose
+	// clients submit long separable instances.
+	Decompose bool
 }
 
 func (c *Config) applyDefaults() {
@@ -550,7 +556,11 @@ func (s *Server) solve(ctx context.Context, kind string, req *SolveRequest, sess
 		if req.Exact {
 			solveFn = sess.solver.SolveExact
 		}
-		res, err := solveFn(in, withCtx)
+		decompose := s.cfg.Decompose
+		if req.Decompose != nil {
+			decompose = *req.Decompose
+		}
+		res, err := solveFn(in, withCtx, mpss.WithDecomposition(decompose))
 		if err != nil {
 			return fail(err)
 		}

@@ -561,6 +561,73 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// Decomposition must be invisible in the response: a separable
+// instance solved with decompose on, off and elided yields byte-equal
+// bodies, and — since the knob is excluded from the cache key — the
+// variants share one cache entry.
+func TestSolveOptimalDecompose(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	in, err := mpss.GenerateWorkload("diurnal", mpss.WorkloadSpec{N: 128, M: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SolveRequest{M: in.M, Jobs: in.Jobs}
+
+	code, base := post(t, ts.URL+"/v1/solve/optimal", req)
+	if code != http.StatusOK {
+		t.Fatalf("baseline: status %d: %s", code, base)
+	}
+	for _, on := range []bool{true, false} {
+		on := on
+		withKnob := req
+		withKnob.Decompose = &on
+		code, body := post(t, ts.URL+"/v1/solve/optimal", withKnob)
+		if code != http.StatusOK {
+			t.Fatalf("decompose=%v: status %d: %s", on, code, body)
+		}
+		if !bytes.Equal(base, body) {
+			t.Fatalf("decompose=%v body diverged from the baseline", on)
+		}
+	}
+	if hits := s.Recorder().Value("server.cache_hits"); hits < 2 {
+		t.Errorf("server.cache_hits = %d, want >= 2 (knob variants must share a key)", hits)
+	}
+}
+
+// A server configured with Decompose on answers with the bit-identical
+// schedule of one with it off; only the telemetry rounds field (flow
+// rounds actually executed) reflects the strategy.
+func TestServerDecomposeDefault(t *testing.T) {
+	in, err := mpss.GenerateWorkload("diurnal", mpss.WorkloadSpec{N: 128, M: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SolveRequest{M: in.M, Jobs: in.Jobs}
+	_, tsOff := newTestServer(t, Config{Workers: 1})
+	_, tsOn := newTestServer(t, Config{Workers: 1, Decompose: true})
+	codeOff, bodyOff := post(t, tsOff.URL+"/v1/solve/optimal", req)
+	codeOn, bodyOn := post(t, tsOn.URL+"/v1/solve/optimal", req)
+	if codeOff != http.StatusOK || codeOn != http.StatusOK {
+		t.Fatalf("status off=%d on=%d", codeOff, codeOn)
+	}
+	var off, on OptimalResponse
+	if err := json.Unmarshal(bodyOff, &off); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyOn, &on); err != nil {
+		t.Fatal(err)
+	}
+	if on.Rounds >= off.Rounds {
+		t.Errorf("decomposed rounds = %d, want < monolithic %d (shorter removal ladders)", on.Rounds, off.Rounds)
+	}
+	off.Rounds, on.Rounds = 0, 0
+	a, _ := json.Marshal(off)
+	b, _ := json.Marshal(on)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Decompose:true server result diverged from default server beyond the rounds telemetry")
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	resp, err := http.Get(ts.URL + "/v1/healthz")

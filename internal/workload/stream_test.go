@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"mpss/internal/job"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	spec := Spec{N: 500, M: 4, Seed: 9}
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, spec.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(sw, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !IsStream(buf.Bytes()) {
+		t.Fatal("IsStream rejected a freshly written trace")
+	}
+
+	sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.M() != spec.M {
+		t.Fatalf("header m = %d, want %d", sr.M(), spec.M)
+	}
+	var got []job.Job
+	for {
+		j, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, j)
+	}
+
+	want, err := Diurnal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Jobs) {
+		t.Fatalf("streamed %d jobs, materialized %d", len(got), len(want.Jobs))
+	}
+	for i := range got {
+		if got[i] != want.Jobs[i] {
+			t.Fatalf("job %d: streamed %v, materialized %v", i, got[i], want.Jobs[i])
+		}
+	}
+}
+
+func TestStreamRejectsUnsorted(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Write(job.Job{ID: 1, Release: 5, Deadline: 6, Work: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Write(job.Job{ID: 2, Release: 4, Deadline: 6, Work: 1}); err == nil {
+		t.Fatal("writer accepted out-of-order job")
+	}
+
+	in := `{"format":"mpss-trace-v1","m":2}
+{"id":1,"release":5,"deadline":6,"work":1}
+{"id":2,"release":4,"deadline":6,"work":1}
+`
+	sr, err := NewStreamReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err == nil || !strings.Contains(err.Error(), "sorted") {
+		t.Fatalf("want release-order error, got %v", err)
+	}
+}
+
+func TestStreamRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not json header":  "hello\n",
+		"wrong format":     `{"format":"mpss-trace-v9","m":2}` + "\n",
+		"bad m":            `{"format":"mpss-trace-v1","m":0}` + "\n",
+		"instance json":    `{"m":2,"jobs":[{"id":1,"release":0,"deadline":1,"work":1}]}` + "\n",
+		"invalid job line": `{"format":"mpss-trace-v1","m":2}` + "\n" + `{"id":1,"release":2,"deadline":1,"work":1}` + "\n",
+		"garbage job line": `{"format":"mpss-trace-v1","m":2}` + "\n" + `]]]` + "\n",
+	}
+	for name, in := range cases {
+		sr, err := NewStreamReader(strings.NewReader(in))
+		if err == nil {
+			_, err = sr.Next()
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if IsStream([]byte(in)) && (name == "not json header" || name == "wrong format" || name == "instance json") {
+			t.Errorf("%s: IsStream said true", name)
+		}
+	}
+}
+
+func TestGenerateTraceShape(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 1000} {
+		spec := Spec{N: n, M: 4, Seed: 21}
+		var jobs []job.Job
+		if err := GenerateTrace(spec, func(j job.Job) error {
+			jobs = append(jobs, j)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(jobs) != n {
+			t.Fatalf("n=%d: emitted %d jobs", n, len(jobs))
+		}
+		for i, j := range jobs {
+			if j.ID != i+1 {
+				t.Fatalf("n=%d: job %d has ID %d, want sequential", n, i, j.ID)
+			}
+			if err := j.Validate(); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if i > 0 && j.Release < jobs[i-1].Release {
+				t.Fatalf("n=%d: releases not sorted at %d", n, i)
+			}
+		}
+	}
+}
+
+// The waves must actually separate: a 1000-job trace has ~15 waves, and
+// every wave boundary must be a decomposition cut — that separability is
+// the entire point of the generator.
+func TestTraceIsSeparable(t *testing.T) {
+	spec := Spec{N: 1000, M: 8, Seed: 3}
+	in, err := Diurnal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waves := spec.N / traceJobsPerWave
+	period := 100.0 // per-wave default horizon
+	cuts := 0
+	open := 0.0
+	for i, j := range in.Jobs {
+		if i > 0 && j.Release >= open {
+			cuts++
+		}
+		if j.Deadline > open {
+			open = j.Deadline
+		}
+		// No window may span a wave boundary.
+		w := int(j.Release / period)
+		if j.Deadline > float64(w+1)*period {
+			t.Fatalf("job %v crosses its wave boundary %v", j, float64(w+1)*period)
+		}
+	}
+	if cuts < waves-1 {
+		t.Fatalf("found %d cuts, want at least %d (one per wave boundary)", cuts, waves-1)
+	}
+}
+
+func TestDiurnalDeterministic(t *testing.T) {
+	a, err := Diurnal(Spec{N: 200, M: 4, Seed: 0}) // Seed 0 is a fixed stream
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Diurnal(Spec{N: 200, M: 4, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("equal specs, different instances at job %d", i)
+		}
+	}
+	c, err := Diurnal(Spec{N: 200, M: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i] != c.Jobs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestSpecRejectsBadHorizon(t *testing.T) {
+	for _, h := range []float64{-1, nan(), inf()} {
+		if _, err := Uniform(Spec{N: 4, M: 1, Horizon: h}); err == nil {
+			t.Errorf("horizon %v accepted", h)
+		}
+		if err := GenerateTrace(Spec{N: 4, M: 1, Horizon: h}, func(job.Job) error { return nil }); err == nil {
+			t.Errorf("trace horizon %v accepted", h)
+		}
+	}
+	if _, err := Uniform(Spec{N: 4, M: 1, Horizon: 50}); err != nil {
+		t.Errorf("positive horizon rejected: %v", err)
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }

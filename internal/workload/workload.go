@@ -7,21 +7,34 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"mpss/internal/job"
 )
 
-// Spec parameterizes a generator run.
+// Spec parameterizes a generator run. Generators are pure functions of
+// the Spec: equal specs generate equal instances, bit for bit.
 type Spec struct {
-	N       int     // number of jobs
-	M       int     // number of processors
-	Seed    int64   // RNG seed; equal specs generate equal instances
-	Horizon float64 // time horizon length (default 100)
+	N int // number of jobs
+	M int // number of processors
+	// Seed selects the pseudo-random stream. Every value — including the
+	// zero value — names one fixed stream, so a zero-initialized Spec is
+	// reproducible, not "unseeded": callers wanting run-to-run variation
+	// must pick their own seeds (e.g. from a clock), the package never
+	// does it for them.
+	Seed int64
+	// Horizon is the time-horizon length the jobs are laid into, in the
+	// model's time units. Zero means the default of 100; negative or
+	// non-finite values are rejected by validation rather than silently
+	// remapped, since two specs differing only in an invalid Horizon
+	// would otherwise generate the same instance and break the
+	// equal-specs-equal-instances contract.
+	Horizon float64
 }
 
 func (s Spec) horizon() float64 {
-	if s.Horizon <= 0 {
+	if s.Horizon == 0 {
 		return 100
 	}
 	return s.Horizon
@@ -33,6 +46,9 @@ func (s Spec) validate() error {
 	}
 	if s.M < 1 {
 		return fmt.Errorf("workload: M = %d < 1", s.M)
+	}
+	if s.Horizon < 0 || math.IsNaN(s.Horizon) || math.IsInf(s.Horizon, 0) {
+		return fmt.Errorf("workload: horizon %v invalid (want 0 for the default, or a positive finite length)", s.Horizon)
 	}
 	return nil
 }
@@ -329,6 +345,7 @@ func All() []Generator {
 		{Name: "oa-adversarial", Make: OAAdversarial},
 		{Name: "poisson", Make: Poisson},
 		{Name: "slotted", Make: Slotted},
+		{Name: "diurnal", Make: Diurnal},
 	}
 }
 

@@ -137,7 +137,12 @@ type solveConfig struct {
 	capBracket bool
 	noContract bool
 	noApprox   bool
-	ctx        context.Context
+	decompose  bool
+	// decomposeSet distinguishes an explicit WithDecomposition(false)
+	// from the unset default: one-shot solves default off, the streaming
+	// trace solve defaults on.
+	decomposeSet bool
+	ctx          context.Context
 }
 
 // WithRecorder directs a solver run to record its metrics and phase
@@ -175,6 +180,20 @@ func WithBracket(lo, hi float64) SolveOption {
 // A/B measurement (the -contract=false flag of the CLIs maps here).
 func WithContraction(on bool) SolveOption {
 	return func(c *solveConfig) { c.noContract = !on }
+}
+
+// WithDecomposition toggles windowed decomposition (default off for
+// Solve/OptimalSchedule, on for SolveTraceStream): the solver finds the
+// time points no job window crosses, solves the resulting independent
+// components separately — concurrently, when WithParallelism(n > 1) is
+// given — and merges the results. The merged schedule, phases, speeds
+// and energy are bit-identical to the monolithic solve's, but the cost
+// grows with the largest component instead of the whole instance, which
+// on separable traces (see the "diurnal" workload) is the difference
+// between minutes and seconds at datacenter scale. Instances with no
+// cut points pay one O(n log n) sweep and solve exactly as before.
+func WithDecomposition(on bool) SolveOption {
+	return func(c *solveConfig) { c.decompose = on; c.decomposeSet = true }
 }
 
 // WithApproxFirst toggles the two-tier cap search (default on): while

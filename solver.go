@@ -65,7 +65,7 @@ func (s *Solver) Solve(in *Instance, opts ...SolveOption) (*OptimalResult, error
 	cfg := s.merge(opts)
 	return s.os.Schedule(in,
 		opt.WithRecorder(cfg.rec), opt.WithParallelism(cfg.par), opt.WithContext(cfg.ctx),
-		opt.WithContraction(!cfg.noContract))
+		opt.WithContraction(!cfg.noContract), opt.WithDecomposition(cfg.decompose))
 }
 
 // SolveExact is Solve with all phase decisions carried out in exact
@@ -77,7 +77,7 @@ func (s *Solver) SolveExact(in *Instance, opts ...SolveOption) (*OptimalResult, 
 	cfg := s.merge(opts)
 	return s.os.Schedule(in,
 		opt.Exact(), opt.WithRecorder(cfg.rec), opt.WithContext(cfg.ctx),
-		opt.WithContraction(!cfg.noContract))
+		opt.WithContraction(!cfg.noContract), opt.WithDecomposition(cfg.decompose))
 }
 
 // OA runs the online Optimal Available simulation; its per-arrival

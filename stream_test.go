@@ -1,0 +1,151 @@
+package mpss
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// writeTestTrace returns a serialized diurnal trace.
+func writeTestTrace(t *testing.T, spec WorkloadSpec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, spec.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateTrace(tw, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The streamed decomposed solve must agree with the materialized
+// monolithic solve of the same trace: identical job/component counts and
+// identical energy (the decomposition differential suite proves the
+// schedules bit-equal; the summaries sum energies in the same component
+// order).
+func TestSolveTraceStreamMatchesMonolithic(t *testing.T) {
+	spec := WorkloadSpec{N: 400, M: 4, Seed: 12}
+	data := writeTestTrace(t, spec)
+	p := MustAlpha(3)
+
+	rec := NewRecorder()
+	streamed, err := SolveTraceStream(bytes.NewReader(data), p, WithRecorder(rec), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := SolveTraceStream(bytes.NewReader(data), p, WithDecomposition(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if streamed.Jobs != spec.N || mono.Jobs != spec.N {
+		t.Fatalf("jobs: streamed %d, mono %d, want %d", streamed.Jobs, mono.Jobs, spec.N)
+	}
+	if streamed.M != spec.M || mono.M != spec.M {
+		t.Fatalf("m: streamed %d, mono %d, want %d", streamed.M, mono.M, spec.M)
+	}
+	if streamed.Components != mono.Components || streamed.Components < 2 {
+		t.Fatalf("components: streamed %d, mono %d (want equal, >= 2)", streamed.Components, mono.Components)
+	}
+	if streamed.MaxComponentJobs != mono.MaxComponentJobs {
+		t.Fatalf("max component jobs: streamed %d, mono %d", streamed.MaxComponentJobs, mono.MaxComponentJobs)
+	}
+	if streamed.Phases != mono.Phases {
+		t.Fatalf("phases: streamed %d, mono %d", streamed.Phases, mono.Phases)
+	}
+	if streamed.Energy != mono.Energy {
+		t.Fatalf("energy: streamed %v, mono %v", streamed.Energy, mono.Energy)
+	}
+
+	snap := rec.Snapshot()
+	if got := snap.Counters["opt.components"]; got != int64(streamed.Components) {
+		t.Errorf("opt.components = %d, want %d", got, streamed.Components)
+	}
+	if got := snap.Counters["opt.decompose_cuts"]; got != int64(streamed.Components-1) {
+		t.Errorf("opt.decompose_cuts = %d, want %d", got, streamed.Components-1)
+	}
+	if got := snap.Counters["opt.component_jobs_max"]; got != int64(streamed.MaxComponentJobs) {
+		t.Errorf("opt.component_jobs_max = %d, want %d", got, streamed.MaxComponentJobs)
+	}
+}
+
+// Determinism across worker counts: the summary is accumulated in
+// component order regardless of completion order.
+func TestSolveTraceStreamWorkerIndependence(t *testing.T) {
+	data := writeTestTrace(t, WorkloadSpec{N: 300, M: 3, Seed: 4})
+	p := MustAlpha(2)
+	base, err := SolveTraceStream(bytes.NewReader(data), p, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := SolveTraceStream(bytes.NewReader(data), p, WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *base {
+			t.Fatalf("workers=%d: summary %+v != baseline %+v", workers, got, base)
+		}
+	}
+}
+
+// The one-shot Solve path must honor WithDecomposition and stay
+// bit-identical to the default monolithic solve.
+func TestSolveWithDecomposition(t *testing.T) {
+	in, err := GenerateWorkload("diurnal", WorkloadSpec{N: 256, M: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := OptimalSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := OptimalSchedule(in, WithDecomposition(true), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mono.Phases) != len(dec.Phases) {
+		t.Fatalf("phases: mono %d, decomposed %d", len(mono.Phases), len(dec.Phases))
+	}
+	for i := range mono.Phases {
+		if mono.Phases[i].Speed != dec.Phases[i].Speed {
+			t.Fatalf("phase %d speed: mono %v, decomposed %v", i, mono.Phases[i].Speed, dec.Phases[i].Speed)
+		}
+	}
+	if len(mono.Schedule.Segments) != len(dec.Schedule.Segments) {
+		t.Fatalf("segments: mono %d, decomposed %d", len(mono.Schedule.Segments), len(dec.Schedule.Segments))
+	}
+	for i := range mono.Schedule.Segments {
+		if mono.Schedule.Segments[i] != dec.Schedule.Segments[i] {
+			t.Fatalf("segment %d: mono %v, decomposed %v", i, mono.Schedule.Segments[i], dec.Schedule.Segments[i])
+		}
+	}
+	if err := Verify(dec.Schedule, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveTraceStreamRejectsBadInput(t *testing.T) {
+	p := MustAlpha(3)
+	if _, err := SolveTraceStream(strings.NewReader("not a trace\n"), p); err == nil {
+		t.Error("malformed header accepted")
+	}
+	if _, err := SolveTraceStream(strings.NewReader(`{"format":"mpss-trace-v1","m":2}`+"\n"), p); err == nil {
+		t.Error("empty trace accepted")
+	}
+	unsorted := `{"format":"mpss-trace-v1","m":2}
+{"id":1,"release":5,"deadline":6,"work":1}
+{"id":2,"release":0,"deadline":1,"work":1}
+`
+	if _, err := SolveTraceStream(strings.NewReader(unsorted), p); err == nil {
+		t.Error("unsorted trace accepted")
+	}
+	if !IsTraceStream([]byte(unsorted)) {
+		t.Error("IsTraceStream rejected a trace header")
+	}
+}
