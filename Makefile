@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke cli-smoke serve-smoke session-smoke loadgen-smoke fuzz-smoke contract-smoke trace-smoke bench-trace clean
+.PHONY: all build test vet race verify bench bench-smoke cli-smoke serve-smoke session-smoke loadgen-smoke cluster-smoke fuzz-smoke contract-smoke trace-smoke bench-trace apidoc clean
 
 all: verify
 
@@ -43,6 +43,18 @@ session-smoke:
 loadgen-smoke:
 	sh scripts/loadgen_smoke.sh
 
+# cluster-smoke boots the real mpss-front in exec mode (it spawns its
+# own mpss-served children), runs loadgen through it, SIGKILLs a
+# replica mid-run, and asserts zero client-visible errors plus an
+# autoscaler scale-up and scale-back-down in /v1/cluster/status.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
+# apidoc regenerates docs/API.md from the mpss/api package sources.
+# The file is committed; run this after any wire-contract change.
+apidoc:
+	$(GO) run ./cmd/mpss-apidoc -o docs/API.md
+
 # fuzz-smoke runs the solver-boundary fuzz harness briefly: enough to
 # catch a reintroduced panic path, cheap enough for every CI run.
 fuzz-smoke:
@@ -62,7 +74,7 @@ trace-smoke:
 contract-smoke:
 	$(GO) test -race -short -run 'TestContractedMatchesRaw|TestTwoTierCap' ./internal/opt/
 
-verify: build vet test race cli-smoke serve-smoke session-smoke loadgen-smoke trace-smoke
+verify: build vet test race cli-smoke serve-smoke session-smoke loadgen-smoke cluster-smoke trace-smoke
 
 # bench runs the solver benchmark family (warm incremental engine vs the
 # cold per-round-rebuild baseline) and archives the numbers — ns/op,

@@ -1,4 +1,4 @@
-package server
+package api
 
 import (
 	"crypto/sha256"
@@ -9,13 +9,17 @@ import (
 	"mpss/internal/flow"
 )
 
-// requestKey computes the canonical cache key of a solve request: a
-// sha256 over the endpoint kind, the solve parameters and the instance.
-// Jobs are hashed in the order given — the solver's output (though not
-// its optimality) depends on input order, so two permutations of the
-// same job set are distinct requests. Float fields are hashed by their
-// IEEE-754 bits: the solver is bit-deterministic, so bit-equal inputs
-// are exactly the requests with bit-equal responses.
+// RequestKey computes the canonical key of a solve request: a sha256
+// over the endpoint kind, the solve parameters and the instance. It is
+// the result-cache key inside each replica AND the consistent-hash
+// routing key of the front tier — routing by it is what keeps each
+// replica's LRU hot, because every repetition of an instance lands on
+// the replica that already solved it. Jobs are hashed in the order
+// given — the solver's output (though not its optimality) depends on
+// input order, so two permutations of the same job set are distinct
+// requests. Float fields are hashed by their IEEE-754 bits: the solver
+// is bit-deterministic, so bit-equal inputs are exactly the requests
+// with bit-equal responses.
 //
 // Defaultable knobs are normalized before hashing: alpha 0 means the
 // server default 3, rel <= 0 means the solver's default tolerance, and
@@ -28,7 +32,7 @@ import (
 // are one logical request and must share a cache entry and a flight.
 // (Only the telemetry "rounds" field of the body depends on the
 // strategy; see OptimalResponse.)
-func requestKey(kind string, req *SolveRequest) string {
+func RequestKey(kind string, req *SolveRequest) string {
 	alpha := req.Alpha
 	if alpha == 0 {
 		alpha = 3

@@ -20,11 +20,10 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -36,6 +35,7 @@ import (
 	"time"
 
 	"mpss"
+	"mpss/api"
 	"mpss/internal/stats"
 )
 
@@ -97,7 +97,8 @@ type Report struct {
 
 func main() {
 	var (
-		baseURL     = flag.String("url", "http://127.0.0.1:8080", "base URL of mpss-served")
+		baseURL     = flag.String("url", "http://127.0.0.1:8080", "base URL of mpss-served (or mpss-front)")
+		targetsFlag = flag.String("targets", "", "comma-separated base URLs to spread load across (overrides -url; arrivals round-robin)")
 		duration    = flag.Duration("duration", 10*time.Second, "offered-load window")
 		rate        = flag.Float64("rate", 50, "mean arrival rate in req/s (Poisson process)")
 		mix         = flag.String("mix", "optimal=6,oa=2,feasible=1,mincap=1", "endpoint weights name=w,... (optimal, exact, oa, avr, atcap, feasible, mincap)")
@@ -142,12 +143,30 @@ func main() {
 		warm = append(warm, body)
 	}
 
-	client := &http.Client{
-		Timeout: *reqTimeout,
+	// All targets share one transport; each gets its own typed api.Client
+	// (the same wire client the e2e suites and the cluster tier use).
+	targets := []string{*baseURL}
+	if *targetsFlag != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(*targetsFlag, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		if len(targets) == 0 {
+			fmt.Fprintln(os.Stderr, "mpss-loadgen: -targets has no URLs")
+			os.Exit(2)
+		}
+	}
+	httpc := &http.Client{
 		Transport: &http.Transport{
 			MaxIdleConns:        *maxInflight,
 			MaxIdleConnsPerHost: *maxInflight,
 		},
+	}
+	clients := make([]*api.Client, len(targets))
+	for i, t := range targets {
+		clients[i] = api.NewClient(t, api.WithHTTPClient(httpc), api.WithClientTimeout(*reqTimeout))
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -199,17 +218,19 @@ func main() {
 		}
 		reqID := fmt.Sprintf("loadgen-%d", offered)
 
+		c := clients[offered%len(clients)] // round-robin across targets
+
 		wg.Add(1)
 		inflight.Add(1)
-		go func(name string, body []byte, reqID string) {
+		go func(c *api.Client, name string, body []byte, reqID string) {
 			defer wg.Done()
 			defer inflight.Done()
-			o := fire(client, *baseURL, name, body, reqID)
+			o := fire(c, name, body, reqID)
 			mu.Lock()
 			active--
 			mu.Unlock()
 			outcomes <- o
-		}(name, body, reqID)
+		}(c, name, body, reqID)
 	}
 	wg.Wait()
 	close(outcomes)
@@ -217,7 +238,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	report := buildReport(collected, elapsed, offered, shed, map[string]any{
-		"url": *baseURL, "duration": duration.String(), "rate": *rate,
+		"url": *baseURL, "targets": targets, "duration": duration.String(), "rate": *rate,
 		"mix": *mix, "unique": *unique, "warm_pool": *warmPool,
 		"jobs": *jobs, "m": *m, "workload": *workload, "seed": *seed,
 	}, sloP99.Seconds()*1000, *sloErrRate)
@@ -303,8 +324,11 @@ func requestBody(workload string, jobs, m int, seed int64, cap float64) ([]byte,
 	})
 }
 
-// fire issues one request and classifies the outcome.
-func fire(client *http.Client, baseURL, name string, body []byte, reqID string) outcome {
+// fire issues one request through the shared api.Client and classifies
+// the outcome. The client pins the X-Request-ID we mint and applies the
+// per-request timeout; api.DecodeError understands both the new nested
+// error envelope and the deprecated top-level fields.
+func fire(c *api.Client, name string, body []byte, reqID string) outcome {
 	o := outcome{endpoint: name, requestID: reqID}
 	path := endpointPaths[name]
 	if name == "exact" {
@@ -313,35 +337,17 @@ func fire(client *http.Client, baseURL, name string, body []byte, reqID string) 
 		withExact["exact"] = true
 		body, _ = json.Marshal(withExact)
 	}
-	req, err := http.NewRequest(http.MethodPost, baseURL+path, bytes.NewReader(body))
-	if err != nil {
-		o.errKind = "request_build"
-		return o
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("X-Request-ID", reqID)
 
 	t0 := time.Now()
-	resp, err := client.Do(req)
+	res, err := c.DoRaw(api.WithRequestID(context.Background(), reqID), http.MethodPost, path, body)
 	o.seconds = time.Since(t0).Seconds()
 	if err != nil {
 		o.errKind = classifyTransportError(err)
 		return o
 	}
-	defer resp.Body.Close()
-	o.status = resp.StatusCode
-	if resp.StatusCode >= 400 {
-		var e struct {
-			Kind string `json:"kind"`
-		}
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		if json.Unmarshal(data, &e) == nil && e.Kind != "" {
-			o.errKind = e.Kind
-		} else {
-			o.errKind = "http_" + strconv.Itoa(resp.StatusCode)
-		}
-	} else {
-		io.Copy(io.Discard, resp.Body)
+	o.status = res.Status
+	if res.Status >= 400 {
+		o.errKind = api.DecodeError(res.Status, res.RequestID, res.Body).Kind
 	}
 	return o
 }

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mpss/api"
+)
+
+// Replica health states. Transitions (probe loop + proxy errors):
+//
+//	starting --ready probe--> healthy
+//	healthy  --failed probe/proxy--> suspect --another failure--> down
+//	suspect  --ready probe--> healthy
+//	down     --ready probe--> healthy   (static members can come back)
+//	any      --scale-down--> draining --stopped--> removed
+//
+// Only healthy members are in the routing ring; suspect members stay
+// routable as reroute fallbacks until confirmed down.
+const (
+	stateStarting = "starting"
+	stateHealthy  = "healthy"
+	stateSuspect  = "suspect"
+	stateDown     = "down"
+	stateDraining = "draining"
+)
+
+// Spawner provisions and tears down replicas. The exec implementation
+// (spawn.go) runs mpss-served child processes; tests and -targets mode
+// use StaticSpawner over already-running servers.
+type Spawner interface {
+	// Spawn brings up a replica and returns its base URL plus a stop
+	// function that gracefully drains it.
+	Spawn(ctx context.Context, name string) (url string, stop func(context.Context) error, err error)
+}
+
+// replica is one cluster member as the front tracks it.
+type replica struct {
+	name string
+	url  string
+	stop func(context.Context) error // nil for static members
+	api  *api.Client
+
+	mu       sync.Mutex
+	state    string
+	lastErr  string
+	proxied  int64
+	status   *api.ReplicaStatusResponse // latest /v1/status sample
+	sessions int64                      // sessions the front routed here (affinity balance)
+}
+
+func (r *replica) getState() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// setState moves the replica's state machine, returning the previous
+// state (callers log/react only on actual transitions).
+func (r *replica) setState(state, lastErr string) (prev string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev = r.state
+	r.state = state
+	r.lastErr = lastErr
+	return prev
+}
+
+// markFailure records a probe/proxy failure: healthy demotes to
+// suspect, suspect to down. Returns the new state.
+func (r *replica) markFailure(err error) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastErr = err.Error()
+	switch r.state {
+	case stateHealthy:
+		r.state = stateSuspect
+	case stateSuspect, stateStarting:
+		r.state = stateDown
+	}
+	return r.state
+}
+
+// view renders the replica for /v1/cluster/status.
+func (r *replica) view() api.ClusterReplica {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return api.ClusterReplica{
+		Name:      r.name,
+		URL:       r.url,
+		State:     r.state,
+		Proxied:   r.proxied,
+		LastError: r.lastErr,
+		Status:    r.status,
+	}
+}
+
+// StaticSpawner fronts replicas that already exist (the -targets flag,
+// httptest servers in the e2e suite): Spawn hands out the provided URLs
+// in order and cannot scale beyond them.
+type StaticSpawner struct {
+	mu   sync.Mutex
+	URLs []string
+	next int
+}
+
+// Spawn returns the next unclaimed URL. The stop function is nil — the
+// front never owns a static replica's lifecycle, and a nil stop also
+// marks the replica as not reapable: a down static target keeps being
+// probed and can come back, where a down spawned process is gone for
+// good and gets reaped (front.go ProbeAll).
+func (s *StaticSpawner) Spawn(ctx context.Context, name string) (string, func(context.Context) error, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next >= len(s.URLs) {
+		return "", nil, fmt.Errorf("static spawner exhausted: %d targets", len(s.URLs))
+	}
+	url := s.URLs[s.next]
+	s.next++
+	return url, nil, nil
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the autoscaler's scrape client: a minimal parser for the
+// Prometheus text exposition format (version 0.0.4), just enough to
+// read the demand signals every replica already publishes on /metrics —
+// mpss_server_requests_total, the mpss_server_request_seconds histogram
+// sum, mpss_server_queue_depth. Parsing the public scrape surface
+// instead of a private side channel means the autoscaler sees exactly
+// what an operator's dashboards see.
+
+// scrapeSample is one exposition series: the bare metric name, its raw
+// label body (between the braces, "" if none) and the value.
+type scrapeSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// parsePrometheus reads an exposition stream into samples. Comment and
+// malformed lines are skipped — the scraper wants the few series it
+// knows, not full-format validation.
+func parsePrometheus(r io.Reader) ([]scrapeSample, error) {
+	var out []scrapeSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value  |  name value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		name, labels := series, ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				continue
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		out = append(out, scrapeSample{name: name, labels: labels, value: v})
+	}
+	return out, sc.Err()
+}
+
+// metricSum totals every series of one metric family (summing labeled
+// series folds per-endpoint splits back into the aggregate).
+func metricSum(samples []scrapeSample, name string) float64 {
+	var sum float64
+	for _, s := range samples {
+		if s.name == name {
+			sum += s.value
+		}
+	}
+	return sum
+}

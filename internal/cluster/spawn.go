@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// ExecSpawner runs replicas as mpss-served child processes. Each Spawn
+// execs the binary on a kernel-assigned loopback port, waits for the
+// daemon's one-line readiness contract — the slog JSON "listening"
+// record on stderr, the same sentinel scripts/serve_smoke.sh parses —
+// and returns the bound address. Stop sends SIGTERM (the daemon's
+// graceful-drain signal: in-flight solves finish) and escalates to
+// SIGKILL only if the drain outlives the stop context.
+type ExecSpawner struct {
+	// Bin is the mpss-served binary path (default "mpss-served" on PATH).
+	Bin string
+	// Args are extra flags appended to every replica's command line
+	// (e.g. -workers 2 -cache 4096).
+	Args []string
+	// ReadyTimeout bounds the wait for the readiness line (default 10s).
+	ReadyTimeout time.Duration
+	// Logger receives child lifecycle records. Nil discards.
+	Logger *slog.Logger
+}
+
+// Spawn starts one replica process and blocks until it is listening.
+func (e *ExecSpawner) Spawn(ctx context.Context, name string) (string, func(context.Context) error, error) {
+	bin := e.Bin
+	if bin == "" {
+		bin = "mpss-served"
+	}
+	readyTimeout := e.ReadyTimeout
+	if readyTimeout <= 0 {
+		readyTimeout = 10 * time.Second
+	}
+	logger := e.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
+
+	args := append([]string{"-addr", "127.0.0.1:0", "-replica", name, "-log-format", "json"}, e.Args...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return "", nil, fmt.Errorf("spawn %s: %w", name, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, fmt.Errorf("spawn %s: %w", name, err)
+	}
+	logger.Info("replica spawning", "replica", name, "pid", cmd.Process.Pid)
+
+	// Scan the child's stderr for the readiness record; after it, keep
+	// draining the pipe in the background so the child never blocks on a
+	// full pipe buffer.
+	addrCh := make(chan string, 1)
+	scanner := bufio.NewScanner(stderr)
+	scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	go func() {
+		ready := false
+		for scanner.Scan() {
+			if ready {
+				continue
+			}
+			var rec struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(scanner.Bytes(), &rec) == nil && rec.Msg == "listening" {
+				ready = true
+				addrCh <- rec.Addr
+			}
+		}
+		close(addrCh)
+	}()
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+
+	kill := func() {
+		_ = cmd.Process.Kill()
+		<-waitErr
+	}
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			kill()
+			return "", nil, fmt.Errorf("spawn %s: process exited before listening", name)
+		}
+		stop := func(stopCtx context.Context) error {
+			logger.Info("replica stopping", "replica", name, "pid", cmd.Process.Pid)
+			if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+				kill()
+				return nil
+			}
+			select {
+			case <-waitErr:
+				return nil
+			case <-stopCtx.Done():
+				kill()
+				return fmt.Errorf("stop %s: drain timed out, killed", name)
+			}
+		}
+		return "http://" + addr, stop, nil
+	case err := <-waitErr:
+		return "", nil, fmt.Errorf("spawn %s: process exited before listening: %v", name, err)
+	case <-time.After(readyTimeout):
+		kill()
+		return "", nil, fmt.Errorf("spawn %s: not listening after %s", name, readyTimeout)
+	case <-ctx.Done():
+		kill()
+		return "", nil, ctx.Err()
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Gauge is a settable level — a value that goes up and down, unlike the
+// monotone Counter: queue depth, open sessions, desired replica count.
+// All methods are safe on a nil receiver, matching the package's no-op
+// discipline.
+type Gauge struct {
+	bits atomic.Uint64 // IEEE-754 bits of the current level
+}
+
+// Set stores the current level.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current level (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge returns the named gauge, creating it on first use (nil handle
+// on a nil recorder).
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// SetGauge stores the named gauge's current level.
+func (r *Recorder) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.Gauge(name).Set(v)
+}
+
+// GaugeValue returns the named gauge's current level (0 if absent or on
+// a nil recorder).
+func (r *Recorder) GaugeValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	g := r.gauges[name]
+	r.mu.Unlock()
+	return g.Value()
+}
+
+// GaugeL returns the gauge for the labeled series, creating it on first
+// use (nil handle on a nil recorder). The cluster tier uses labeled
+// gauges for per-replica levels, e.g. cluster.replica_queue{replica=...}.
+func (r *Recorder) GaugeL(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.Gauge(LabeledName(name, labels...))
+}
+
+// SetGaugeL stores the labeled gauge series' current level.
+func (r *Recorder) SetGaugeL(name string, v float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.GaugeL(name, labels...).Set(v)
+}
+
+// gaugeSnapshot copies the gauge map for Snapshot/Prometheus encoding.
+func (r *Recorder) gaugeSnapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.gauges) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}

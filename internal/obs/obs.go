@@ -145,6 +145,18 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// Total returns the exact observation count and sum, the rate
+// numerator/denominator a poller diffs between scrapes (0, 0 on a nil
+// or empty histogram).
+func (h *Histogram) Total() (count uint64, sum float64) {
+	if h == nil {
+		return 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total, h.sum
+}
+
 // Count returns the number of samples observed so far.
 func (h *Histogram) Count() int {
 	if h == nil {
@@ -317,6 +329,7 @@ type Recorder struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
 	root     *Span
 }
 
@@ -462,6 +475,7 @@ type SpanSnapshot struct {
 type Snapshot struct {
 	WallSeconds float64                  `json:"wall_seconds"`
 	Counters    map[string]int64         `json:"counters"`
+	Gauges      map[string]float64       `json:"gauges,omitempty"`
 	Histograms  map[string]stats.Summary `json:"histograms,omitempty"`
 	Trace       []SpanSnapshot           `json:"trace,omitempty"`
 }
@@ -498,6 +512,7 @@ func (r *Recorder) Snapshot() Snapshot {
 			snap.Histograms[name] = sum
 		}
 	}
+	snap.Gauges = r.gaugeSnapshot()
 	snap.Trace = snapshotChildren(root, now)
 	return snap
 }
@@ -627,6 +642,17 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	}
 	for k, v := range o.Counters {
 		out.Counters[k] += v
+	}
+	// Gauges are levels; merging sums them (e.g. per-worker queue depths
+	// aggregate to the pool total).
+	if len(s.Gauges)+len(o.Gauges) > 0 {
+		out.Gauges = make(map[string]float64, len(s.Gauges)+len(o.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] += v
+		}
+		for k, v := range o.Gauges {
+			out.Gauges[k] += v
+		}
 	}
 	for k, v := range s.Histograms {
 		out.Histograms[k] = v

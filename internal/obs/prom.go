@@ -55,9 +55,11 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 		hists[name] = h
 	}
 	r.mu.Unlock()
+	gauges := r.gaugeSnapshot()
 
 	var b strings.Builder
 	writeCounterFamilies(&b, counters)
+	writeGaugeFamilies(&b, gauges)
 	writeHistogramFamilies(&b, hists)
 	writeRuntimeGauges(&b)
 	fmt.Fprintf(&b, "# TYPE mpss_uptime_seconds gauge\nmpss_uptime_seconds %s\n",
@@ -83,6 +85,29 @@ func writeCounterFamilies(b *strings.Builder, counters map[string]*Counter) {
 		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
 		for _, s := range ss {
 			fmt.Fprintf(b, "%s %d\n", seriesName(fam, s.labels), s.value)
+		}
+	}
+}
+
+// writeGaugeFamilies emits each gauge as a `mpss_<name>` gauge family
+// (no `_total` suffix — gauges are levels, not accumulations).
+func writeGaugeFamilies(b *strings.Builder, gauges map[string]float64) {
+	type series struct {
+		labels string
+		value  float64
+	}
+	families := make(map[string][]series)
+	for key, v := range gauges {
+		base, labels := splitLabeledName(key)
+		fam := "mpss_" + sanitizeMetricName(base)
+		families[fam] = append(families[fam], series{labels, v})
+	}
+	for _, fam := range sortedKeys(families) {
+		fmt.Fprintf(b, "# TYPE %s gauge\n", fam)
+		ss := families[fam]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			fmt.Fprintf(b, "%s %s\n", seriesName(fam, s.labels), formatPromFloat(s.value))
 		}
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"mpss/api"
 
 	"mpss"
 	"testing"
@@ -56,7 +57,7 @@ func TestCacheDisabled(t *testing.T) {
 }
 
 func TestRequestKeyDistinguishesRequests(t *testing.T) {
-	base := SolveRequest{M: 2, Jobs: testJobs(), Alpha: 3}
+	base := api.SolveRequest{M: 2, Jobs: testJobs(), Alpha: 3}
 	keys := map[string]string{}
 	add := func(label, key string) {
 		if prev, dup := keys[key]; dup {
@@ -64,37 +65,37 @@ func TestRequestKeyDistinguishesRequests(t *testing.T) {
 		}
 		keys[key] = label
 	}
-	add("base", requestKey("optimal", &base))
+	add("base", api.RequestKey("optimal", &base))
 
-	kind := requestKey("oa", &base)
+	kind := api.RequestKey("oa", &base)
 	add("kind", kind)
 
 	exact := base
 	exact.Exact = true
-	add("exact", requestKey("optimal", &exact))
+	add("exact", api.RequestKey("optimal", &exact))
 
 	capped := base
 	capped.Cap = 1.5
-	add("cap", requestKey("optimal", &capped))
+	add("cap", api.RequestKey("optimal", &capped))
 
 	work := base
 	work.Jobs = append([]mpss.Job(nil), base.Jobs...)
 	work.Jobs[0].Work = 9
-	add("work", requestKey("optimal", &work))
+	add("work", api.RequestKey("optimal", &work))
 
 	order := base
 	order.Jobs = []mpss.Job{base.Jobs[1], base.Jobs[0]}
-	add("order", requestKey("optimal", &order))
+	add("order", api.RequestKey("optimal", &order))
 
 	// Same content must produce the same key.
-	same := SolveRequest{M: 2, Jobs: testJobs(), Alpha: 3}
-	if requestKey("optimal", &base) != requestKey("optimal", &same) {
+	same := api.SolveRequest{M: 2, Jobs: testJobs(), Alpha: 3}
+	if api.RequestKey("optimal", &base) != api.RequestKey("optimal", &same) {
 		t.Error("identical requests hashed differently")
 	}
 	// timeout_ms is a transport knob, not part of the instance.
 	timed := base
 	timed.TimeoutMS = 50
-	if requestKey("optimal", &base) != requestKey("optimal", &timed) {
+	if api.RequestKey("optimal", &base) != api.RequestKey("optimal", &timed) {
 		t.Error("timeout_ms changed the cache key; want ignored")
 	}
 }
@@ -111,10 +112,10 @@ func BenchmarkRequestKey(b *testing.B) {
 	for i := range jobs {
 		jobs[i] = mpss.Job{ID: i + 1, Release: float64(i), Deadline: float64(i + 4), Work: 2}
 	}
-	req := SolveRequest{M: 4, Jobs: jobs, Alpha: 3}
+	req := api.SolveRequest{M: 4, Jobs: jobs, Alpha: 3}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if requestKey("optimal", &req) == "" {
+		if api.RequestKey("optimal", &req) == "" {
 			b.Fatal(fmt.Errorf("empty key"))
 		}
 	}

@@ -8,9 +8,8 @@ package server
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"log/slog"
+	"mpss/api"
 	"net/http"
 	"strconv"
 	"time"
@@ -38,38 +37,6 @@ func RequestIDFromContext(ctx context.Context) string {
 func spanFromContext(ctx context.Context) *obs.Span {
 	sp, _ := ctx.Value(ctxKeySpan).(*obs.Span)
 	return sp
-}
-
-// requestIDHeader is the canonical request-identity header, honored
-// inbound and echoed on every response.
-const requestIDHeader = "X-Request-ID"
-
-// newRequestID generates a 16-hex-char random request ID.
-func newRequestID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failing is effectively fatal elsewhere; degrade to
-		// a constant rather than take the serving path down.
-		return "00000000deadbeef"
-	}
-	return hex.EncodeToString(b[:])
-}
-
-// validRequestID accepts inbound IDs that are printable, reasonably
-// short and free of characters that could corrupt log lines or headers.
-func validRequestID(id string) bool {
-	if len(id) == 0 || len(id) > 64 {
-		return false
-	}
-	for _, r := range id {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
-		case r == '-', r == '_', r == '.', r == ':':
-		default:
-			return false
-		}
-	}
-	return true
 }
 
 // statusWriter captures the status code and body size a handler wrote.
@@ -103,11 +70,11 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := r.Header.Get(requestIDHeader)
-		if !validRequestID(id) {
-			id = newRequestID()
+		id := r.Header.Get(api.HeaderRequestID)
+		if !api.ValidRequestID(id) {
+			id = api.NewRequestID()
 		}
-		w.Header().Set(requestIDHeader, id)
+		w.Header().Set(api.HeaderRequestID, id)
 
 		span := s.flight.startSpan("request " + endpoint)
 		span.SetTag("request_id", id)

@@ -43,6 +43,8 @@
 //	DELETE /v1/session/{id}      tear the session down
 //	GET    /v1/healthz           liveness (always "ok" while serving)
 //	GET    /v1/readyz            readiness ("ready"/"draining"/"saturated")
+//	GET    /v1/status            replica introspection (queue/cache/load)
+//	GET    /v1/cache/{hash}      result-cache peek by canonical request key
 //	GET    /v1/metrics           observability snapshot
 //	GET    /metrics              Prometheus text exposition (version 0.0.4)
 //	GET    /v1/debug/traces      flight recorder (recent + slowest spans)
@@ -62,6 +64,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"mpss/api"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -118,6 +121,9 @@ type Config struct {
 	// memory bound; a create or delta that would exceed it is rejected
 	// with 413 (default 100000).
 	SessionMaxJobs int
+	// ReplicaName names this replica in GET /v1/status and the cluster
+	// tier's views (empty for a standalone server).
+	ReplicaName string
 	// Decompose turns on zero-active-boundary decomposition for
 	// /v1/solve/optimal (default off); a request's "decompose" field
 	// overrides it either way. Results are bit-identical with or
@@ -218,6 +224,7 @@ type Server struct {
 	inflight sync.WaitGroup // admitted, not yet answered tasks
 
 	janitorStop chan struct{}
+	start       time.Time
 
 	mu       sync.RWMutex // guards draining and the queue closes
 	draining bool
@@ -237,6 +244,7 @@ func New(cfg Config) *Server {
 		sessQ:       make([]chan *task, cfg.Workers),
 		sessions:    newSessionRegistry(),
 		janitorStop: make(chan struct{}),
+		start:       time.Now(),
 	}
 	for i := range s.sessQ {
 		// Session queues are shallow: a session serializes its deltas
@@ -255,6 +263,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.instrument("session_delete", s.handleSessionDelete))
 	s.mux.HandleFunc("/v1/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /v1/status", s.instrument("status", s.handleStatus))
+	s.mux.HandleFunc("GET /v1/cache/{hash}", s.instrument("cache_peek", s.handleCachePeek))
 	s.mux.HandleFunc("/v1/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("/metrics", s.instrument("prometheus", s.handlePrometheus))
 	s.mux.HandleFunc("/v1/debug/traces", s.instrument("traces", s.handleTraces))
@@ -319,7 +329,7 @@ func (s *Server) worker(i int) {
 				t.resp = errorResponse(http.StatusGatewayTimeout, "canceled", "deadline expired while queued: "+err.Error())
 			} else {
 				s.rec.Add("server.canceled", 1)
-				t.resp = errorResponse(StatusClientClosedRequest, "canceled", err.Error())
+				t.resp = errorResponse(api.StatusClientClosedRequest, "canceled", err.Error())
 			}
 		} else {
 			t.resp = s.runTask(t, sess)
@@ -422,16 +432,17 @@ func (s *Server) solveHandler(kind string) http.HandlerFunc {
 		stop := s.rec.Time("server.request_seconds")
 		defer stop()
 
-		var req SolveRequest
+		var req api.SolveRequest
 		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
 			errorResponse(http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request: %v", err)).write(w, reqID)
 			return
 		}
-		key := requestKey(kind, &req)
+		key := api.RequestKey(kind, &req)
 		if resp, ok := s.cache.Get(key); ok {
 			s.rec.Add("server.cache_hits", 1)
 			spanFromContext(r.Context()).SetTag("cache", "hit")
+			w.Header().Set(api.HeaderCache, "hit")
 			resp.write(w, reqID)
 			return
 		}
@@ -502,7 +513,7 @@ func (s *Server) solveHandler(kind string) http.HandlerFunc {
 				// rather than replaying a failure that may not be ours.
 			case <-r.Context().Done():
 				s.rec.Add("server.canceled", 1)
-				errorResponse(StatusClientClosedRequest, "canceled", r.Context().Err().Error()).write(w, reqID)
+				errorResponse(api.StatusClientClosedRequest, "canceled", r.Context().Err().Error()).write(w, reqID)
 				return
 			}
 			resp := runSolve()
@@ -527,7 +538,7 @@ func (s *Server) solveHandler(kind string) http.HandlerFunc {
 }
 
 // solve dispatches one admitted request to the worker's solver session.
-func (s *Server) solve(ctx context.Context, kind string, req *SolveRequest, sess *session, r *http.Request) response {
+func (s *Server) solve(ctx context.Context, kind string, req *api.SolveRequest, sess *session, r *http.Request) response {
 	alpha := req.Alpha
 	if alpha == 0 {
 		alpha = 3
@@ -564,14 +575,14 @@ func (s *Server) solve(ctx context.Context, kind string, req *SolveRequest, sess
 		if err != nil {
 			return fail(err)
 		}
-		out := OptimalResponse{
+		out := api.OptimalResponse{
 			Energy:   res.Schedule.Energy(p),
 			Alpha:    alpha,
 			Rounds:   res.Stats.Rounds,
 			Schedule: res.Schedule,
 		}
 		for _, ph := range res.Phases {
-			out.Phases = append(out.Phases, PhaseResponse{Speed: ph.Speed, JobIDs: ph.JobIDs, Procs: ph.Procs})
+			out.Phases = append(out.Phases, api.PhaseResponse{Speed: ph.Speed, JobIDs: ph.JobIDs, Procs: ph.Procs})
 		}
 		return jsonResponse(http.StatusOK, out)
 	case "oa":
@@ -579,7 +590,7 @@ func (s *Server) solve(ctx context.Context, kind string, req *SolveRequest, sess
 		if err != nil {
 			return fail(err)
 		}
-		return jsonResponse(http.StatusOK, OnlineResponse{
+		return jsonResponse(http.StatusOK, api.OnlineResponse{
 			Energy:   res.Schedule.Energy(p),
 			Alpha:    alpha,
 			Bound:    mpss.OABound(alpha),
@@ -591,7 +602,7 @@ func (s *Server) solve(ctx context.Context, kind string, req *SolveRequest, sess
 		if err != nil {
 			return fail(err)
 		}
-		return jsonResponse(http.StatusOK, OnlineResponse{
+		return jsonResponse(http.StatusOK, api.OnlineResponse{
 			Energy:   res.Schedule.Energy(p),
 			Alpha:    alpha,
 			Bound:    mpss.AVRBound(alpha),
@@ -606,7 +617,7 @@ func (s *Server) solve(ctx context.Context, kind string, req *SolveRequest, sess
 		if err != nil {
 			return fail(err)
 		}
-		return jsonResponse(http.StatusOK, AtCapResponse{
+		return jsonResponse(http.StatusOK, api.AtCapResponse{
 			Energy:   sched.Energy(p),
 			Alpha:    alpha,
 			Cap:      req.Cap,
@@ -617,13 +628,13 @@ func (s *Server) solve(ctx context.Context, kind string, req *SolveRequest, sess
 		if err != nil {
 			return fail(err)
 		}
-		return jsonResponse(http.StatusOK, FeasibleResponse{Cap: req.Cap, Feasible: ok})
+		return jsonResponse(http.StatusOK, api.FeasibleResponse{Cap: req.Cap, Feasible: ok})
 	case "mincap":
 		cap, err := sess.solver.MinFeasibleCap(in, req.Rel, withCtx)
 		if err != nil {
 			return fail(err)
 		}
-		return jsonResponse(http.StatusOK, MinCapResponse{Cap: cap})
+		return jsonResponse(http.StatusOK, api.MinCapResponse{Cap: cap})
 	default:
 		return errorResponse(http.StatusNotFound, "unknown_endpoint", kind)
 	}
@@ -634,7 +645,7 @@ func (s *Server) solve(ctx context.Context, kind string, req *SolveRequest, sess
 // an orchestrator must not kill it. Readiness (drain/saturation) lives
 // on /v1/readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	jsonResponse(http.StatusOK, HealthResponse{Status: "ok"}).write(w, RequestIDFromContext(r.Context()))
+	jsonResponse(http.StatusOK, api.HealthResponse{Status: "ok"}).write(w, RequestIDFromContext(r.Context()))
 }
 
 // handleReadyz answers readiness probes: a load balancer should stop
@@ -643,17 +654,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // anyway).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	reqID := RequestIDFromContext(r.Context())
-	s.mu.RLock()
-	draining := s.draining
-	s.mu.RUnlock()
-	switch {
-	case draining:
-		jsonResponse(http.StatusServiceUnavailable, HealthResponse{Status: "draining"}).write(w, reqID)
-	case len(s.queue) == cap(s.queue):
-		jsonResponse(http.StatusServiceUnavailable, HealthResponse{Status: "saturated"}).write(w, reqID)
-	default:
-		jsonResponse(http.StatusOK, HealthResponse{Status: "ready"}).write(w, reqID)
+	state := s.readyState()
+	code := http.StatusOK
+	if state != "ready" {
+		code = http.StatusServiceUnavailable
 	}
+	jsonResponse(code, api.HealthResponse{Status: state}).write(w, reqID)
 }
 
 // handleMetrics dumps the recorder snapshot as JSON — service counters

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mpss/api"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -76,14 +77,14 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 		t.Fatal(err)
 	}
 	alpha := mpss.MustAlpha(3)
-	req := SolveRequest{M: m, Jobs: jobs}
+	req := api.SolveRequest{M: m, Jobs: jobs}
 
 	t.Run("optimal", func(t *testing.T) {
 		code, body := post(t, ts.URL+"/v1/solve/optimal", req)
 		if code != http.StatusOK {
 			t.Fatalf("status %d: %s", code, body)
 		}
-		var got OptimalResponse
+		var got api.OptimalResponse
 		if err := json.Unmarshal(body, &got); err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("status %d: %s", code, body)
 		}
-		var got OptimalResponse
+		var got api.OptimalResponse
 		if err := json.Unmarshal(body, &got); err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +131,7 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("status %d: %s", code, body)
 		}
-		var got OnlineResponse
+		var got api.OnlineResponse
 		if err := json.Unmarshal(body, &got); err != nil {
 			t.Fatal(err)
 		}
@@ -154,7 +155,7 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("status %d: %s", code, body)
 		}
-		var got OnlineResponse
+		var got api.OnlineResponse
 		if err := json.Unmarshal(body, &got); err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 			if code != http.StatusOK {
 				t.Fatalf("status %d: %s", code, body)
 			}
-			var got FeasibleResponse
+			var got api.FeasibleResponse
 			if err := json.Unmarshal(body, &got); err != nil {
 				t.Fatal(err)
 			}
@@ -192,7 +193,7 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("status %d: %s", code, body)
 		}
-		var got MinCapResponse
+		var got api.MinCapResponse
 		if err := json.Unmarshal(body, &got); err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +213,7 @@ func TestEndpointsMatchLibrary(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("status %d: %s", code, body)
 		}
-		var got AtCapResponse
+		var got api.AtCapResponse
 		if err := json.Unmarshal(body, &got); err != nil {
 			t.Fatal(err)
 		}
@@ -237,22 +238,22 @@ func TestErrorMapping(t *testing.T) {
 	}
 
 	// Invalid instance (m = 0): 400 with the typed kind.
-	code, body := post(t, ts.URL+"/v1/solve/optimal", SolveRequest{M: 0, Jobs: jobs})
+	code, body := post(t, ts.URL+"/v1/solve/optimal", api.SolveRequest{M: 0, Jobs: jobs})
 	if code != http.StatusBadRequest {
 		t.Errorf("m=0: status %d, want 400 (%s)", code, body)
 	}
-	var e ErrorResponse
-	if err := json.Unmarshal(body, &e); err != nil || e.Kind != "invalid_instance" {
-		t.Errorf("m=0: kind %q, want invalid_instance (%s)", e.Kind, body)
+	var e api.ErrorBody
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Kind != "invalid_instance" {
+		t.Errorf("m=0: kind %q, want invalid_instance (%s)", e.Error.Kind, body)
 	}
 
 	// Infeasible cap: 422.
-	code, body = post(t, ts.URL+"/v1/solve/atcap", SolveRequest{M: 2, Jobs: jobs, Cap: 0.1})
+	code, body = post(t, ts.URL+"/v1/solve/atcap", api.SolveRequest{M: 2, Jobs: jobs, Cap: 0.1})
 	if code != http.StatusUnprocessableEntity {
 		t.Errorf("low cap: status %d, want 422 (%s)", code, body)
 	}
-	if err := json.Unmarshal(body, &e); err != nil || e.Kind != "infeasible" {
-		t.Errorf("low cap: kind %q, want infeasible (%s)", e.Kind, body)
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Kind != "infeasible" {
+		t.Errorf("low cap: kind %q, want infeasible (%s)", e.Error.Kind, body)
 	}
 
 	// GET on a solve endpoint: 405.
@@ -269,7 +270,7 @@ func TestErrorMapping(t *testing.T) {
 func TestCacheHitDeterminism(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 2})
 	jobs, m := testInstance()
-	req := SolveRequest{M: m, Jobs: jobs}
+	req := api.SolveRequest{M: m, Jobs: jobs}
 
 	_, first := post(t, ts.URL+"/v1/solve/optimal", req)
 	for i := 0; i < 3; i++ {
@@ -316,13 +317,13 @@ func TestQueueFullRejects503(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			codes[i], _ = post(t, ts.URL+"/v1/solve/optimal", SolveRequest{M: m, Jobs: jobs, Alpha: float64(2 + i)})
+			codes[i], _ = post(t, ts.URL+"/v1/solve/optimal", api.SolveRequest{M: m, Jobs: jobs, Alpha: float64(2 + i)})
 		}(i)
 	}
 	<-started // worker is now held; queue slot may still be filling
 	waitFor(t, func() bool { return len(s.queue) == 1 })
 
-	code, body := post(t, ts.URL+"/v1/solve/optimal", SolveRequest{M: m, Jobs: jobs, Alpha: 10})
+	code, body := post(t, ts.URL+"/v1/solve/optimal", api.SolveRequest{M: m, Jobs: jobs, Alpha: 10})
 	if code != http.StatusServiceUnavailable {
 		t.Errorf("overflow request: status %d, want 503 (%s)", code, body)
 	}
@@ -358,13 +359,13 @@ func TestCanceledRequestDoesNotPoisonWorker(t *testing.T) {
 
 	// A 1ms deadline on a 512-job solve cancels mid-phases.
 	code, body := post(t, ts.URL+"/v1/solve/optimal",
-		SolveRequest{M: big.M, Jobs: big.Jobs, TimeoutMS: 1})
+		api.SolveRequest{M: big.M, Jobs: big.Jobs, TimeoutMS: 1})
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("canceled solve: status %d, want 504 (%.200s)", code, body)
 	}
-	var e ErrorResponse
-	if err := json.Unmarshal(body, &e); err != nil || e.Kind != "canceled" {
-		t.Fatalf("canceled solve: kind %q, want canceled (%.200s)", e.Kind, body)
+	var e api.ErrorBody
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Kind != "canceled" {
+		t.Fatalf("canceled solve: kind %q, want canceled (%.200s)", e.Error.Kind, body)
 	}
 	// The deadline may expire mid-solve (server.canceled) or while the
 	// task still queues (server.deadline_exceeded); either way it counts.
@@ -381,11 +382,11 @@ func TestCanceledRequestDoesNotPoisonWorker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	code, body = post(t, ts.URL+"/v1/solve/optimal", SolveRequest{M: m, Jobs: jobs})
+	code, body = post(t, ts.URL+"/v1/solve/optimal", api.SolveRequest{M: m, Jobs: jobs})
 	if code != http.StatusOK {
 		t.Fatalf("post-cancel solve: status %d (%s)", code, body)
 	}
-	var got OptimalResponse
+	var got api.OptimalResponse
 	if err := json.Unmarshal(body, &got); err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +404,7 @@ func TestConcurrentClients(t *testing.T) {
 
 	type testCase struct {
 		path string
-		req  SolveRequest
+		req  api.SolveRequest
 		want float64 // expected energy (solve endpoints)
 	}
 	var cases []testCase
@@ -421,8 +422,8 @@ func TestConcurrentClients(t *testing.T) {
 			t.Fatal(err)
 		}
 		cases = append(cases,
-			testCase{"/v1/solve/optimal", SolveRequest{M: in.M, Jobs: in.Jobs}, opt.Schedule.Energy(alpha)},
-			testCase{"/v1/solve/oa", SolveRequest{M: in.M, Jobs: in.Jobs}, oa.Schedule.Energy(alpha)},
+			testCase{"/v1/solve/optimal", api.SolveRequest{M: in.M, Jobs: in.Jobs}, opt.Schedule.Energy(alpha)},
+			testCase{"/v1/solve/oa", api.SolveRequest{M: in.M, Jobs: in.Jobs}, oa.Schedule.Energy(alpha)},
 		)
 	}
 
@@ -480,7 +481,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 	jobs, m := testInstance()
-	req := SolveRequest{M: m, Jobs: jobs}
+	req := api.SolveRequest{M: m, Jobs: jobs}
 
 	// Hold one solve in flight, then begin draining.
 	inflightCode := make(chan int, 1)
@@ -517,7 +518,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 	// A distinct request (different alpha, so it cannot coalesce onto
 	// the held flight) is new work and must bounce.
-	code, _ := post(t, ts.URL+"/v1/solve/optimal", SolveRequest{M: m, Jobs: jobs, Alpha: 5})
+	code, _ := post(t, ts.URL+"/v1/solve/optimal", api.SolveRequest{M: m, Jobs: jobs, Alpha: 5})
 	if code != http.StatusServiceUnavailable {
 		t.Errorf("request during drain: status %d, want 503", code)
 	}
@@ -540,7 +541,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, TraceRequests: true})
 	jobs, m := testInstance()
-	post(t, ts.URL+"/v1/solve/optimal", SolveRequest{M: m, Jobs: jobs})
+	post(t, ts.URL+"/v1/solve/optimal", api.SolveRequest{M: m, Jobs: jobs})
 
 	resp, err := http.Get(ts.URL + "/v1/metrics")
 	if err != nil {
@@ -571,7 +572,7 @@ func TestSolveOptimalDecompose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := SolveRequest{M: in.M, Jobs: in.Jobs}
+	req := api.SolveRequest{M: in.M, Jobs: in.Jobs}
 
 	code, base := post(t, ts.URL+"/v1/solve/optimal", req)
 	if code != http.StatusOK {
@@ -602,7 +603,7 @@ func TestServerDecomposeDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := SolveRequest{M: in.M, Jobs: in.Jobs}
+	req := api.SolveRequest{M: in.M, Jobs: in.Jobs}
 	_, tsOff := newTestServer(t, Config{Workers: 1})
 	_, tsOn := newTestServer(t, Config{Workers: 1, Decompose: true})
 	codeOff, bodyOff := post(t, tsOff.URL+"/v1/solve/optimal", req)
@@ -610,7 +611,7 @@ func TestServerDecomposeDefault(t *testing.T) {
 	if codeOff != http.StatusOK || codeOn != http.StatusOK {
 		t.Fatalf("status off=%d on=%d", codeOff, codeOn)
 	}
-	var off, on OptimalResponse
+	var off, on api.OptimalResponse
 	if err := json.Unmarshal(bodyOff, &off); err != nil {
 		t.Fatal(err)
 	}
@@ -638,7 +639,7 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: status %d", resp.StatusCode)
 	}
-	var h HealthResponse
+	var h api.HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || h.Status != "ok" {
 		t.Fatalf("healthz body %+v, err %v", h, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"mpss/api"
 	"net/http"
 	"strconv"
 	"sync"
@@ -177,7 +178,7 @@ func (s *Server) sessionTimeout(ms int64) time.Duration {
 // sessionResponse renders the session's coordinates plus one resolve.
 // Called on the owner worker only (it reads the solver's job set).
 func sessionResponse(ls *liveSession, seq int64, res *mpss.SessionResult) response {
-	out := SessionResponse{
+	out := api.SessionResponse{
 		SessionID:   ls.id,
 		Seq:         seq,
 		Jobs:        len(ls.solver.SessionJobs()),
@@ -192,7 +193,7 @@ func sessionResponse(ls *liveSession, seq int64, res *mpss.SessionResult) respon
 		out.CapFeasible = &feasible
 	}
 	for _, ph := range res.Result.Phases {
-		out.Phases = append(out.Phases, PhaseResponse{Speed: ph.Speed, JobIDs: ph.JobIDs, Procs: ph.Procs})
+		out.Phases = append(out.Phases, api.PhaseResponse{Speed: ph.Speed, JobIDs: ph.JobIDs, Procs: ph.Procs})
 	}
 	return jsonResponse(http.StatusOK, out)
 }
@@ -228,7 +229,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	reqID := RequestIDFromContext(r.Context())
 	s.rec.Add("server.requests", 1)
 
-	var req SolveRequest
+	var req api.SolveRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		errorResponse(http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request: %v", err)).write(w, reqID)
@@ -249,7 +250,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ls := &liveSession{
-		id:     newRequestID(),
+		id:     api.NewRequestID(),
 		worker: s.sessions.pickWorker(s.cfg.Workers),
 		alpha:  alpha,
 		power:  p,
@@ -327,7 +328,7 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		errorResponse(http.StatusNotFound, "unknown_session", "no such session").write(w, reqID)
 		return
 	}
-	var req SessionDeltaRequest
+	var req api.SessionDeltaRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		errorResponse(http.StatusBadRequest, "bad_json", fmt.Sprintf("decoding request: %v", err)).write(w, reqID)
@@ -390,7 +391,7 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 // set: removals must name live jobs, adds must be valid and not collide
 // (with surviving jobs or each other), and the result must respect the
 // per-session job bound. Nothing is applied here.
-func (s *Server) validateDelta(ls *liveSession, req *SessionDeltaRequest) error {
+func (s *Server) validateDelta(ls *liveSession, req *api.SessionDeltaRequest) error {
 	cur := ls.solver.SessionJobs()
 	have := make(map[int]bool, len(cur))
 	for _, j := range cur {
@@ -469,7 +470,7 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 			waitSeq = -1
 		case <-r.Context().Done():
 			s.rec.Add("server.canceled", 1)
-			errorResponse(StatusClientClosedRequest, "canceled", r.Context().Err().Error()).write(w, reqID)
+			errorResponse(api.StatusClientClosedRequest, "canceled", r.Context().Err().Error()).write(w, reqID)
 			return
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"mpss/api"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -36,11 +37,11 @@ func do(t *testing.T, method, url string) (int, []byte) {
 // session resolve must match.
 func oneShotEnergyAndSchedule(t *testing.T, ts string, m int, jobs []mpss.Job) (float64, []byte) {
 	t.Helper()
-	code, body := post(t, ts+"/v1/solve/optimal", SolveRequest{M: m, Jobs: jobs})
+	code, body := post(t, ts+"/v1/solve/optimal", api.SolveRequest{M: m, Jobs: jobs})
 	if code != http.StatusOK {
 		t.Fatalf("one-shot solve: status %d (%.300s)", code, body)
 	}
-	var out OptimalResponse
+	var out api.OptimalResponse
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -51,9 +52,9 @@ func oneShotEnergyAndSchedule(t *testing.T, ts string, m int, jobs []mpss.Job) (
 	return out.Energy, sched
 }
 
-// checkSession asserts one SessionResponse against the one-shot solve
+// checkSession asserts one api.SessionResponse against the one-shot solve
 // of the same job set: same energy, bit-identical schedule JSON.
-func checkSession(t *testing.T, ts string, sr *SessionResponse, m int, jobs []mpss.Job) {
+func checkSession(t *testing.T, ts string, sr *api.SessionResponse, m int, jobs []mpss.Job) {
 	t.Helper()
 	energy, sched := oneShotEnergyAndSchedule(t, ts, m, jobs)
 	if sr.Energy != energy {
@@ -81,11 +82,11 @@ func TestSessionLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	code, body := post(t, ts.URL+"/v1/session", SolveRequest{M: in.M, Jobs: in.Jobs})
+	code, body := post(t, ts.URL+"/v1/session", api.SolveRequest{M: in.M, Jobs: in.Jobs})
 	if code != http.StatusOK {
 		t.Fatalf("session create: status %d (%.300s)", code, body)
 	}
-	var sr SessionResponse
+	var sr api.SessionResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestSessionLifecycle(t *testing.T) {
 
 	// Delta 1: remove the first job.
 	jobs := append([]mpss.Job(nil), in.Jobs[1:]...)
-	code, body = post(t, base+"/delta", SessionDeltaRequest{RemoveIDs: []int{in.Jobs[0].ID}})
+	code, body = post(t, base+"/delta", api.SessionDeltaRequest{RemoveIDs: []int{in.Jobs[0].ID}})
 	if code != http.StatusOK {
 		t.Fatalf("delta remove: status %d (%.300s)", code, body)
 	}
@@ -115,7 +116,7 @@ func TestSessionLifecycle(t *testing.T) {
 	// Delta 2: add a fresh job.
 	nj := mpss.Job{ID: 9001, Release: 1, Deadline: 6, Work: 3}
 	jobs = append(jobs, nj)
-	code, body = post(t, base+"/delta", SessionDeltaRequest{AddJobs: []mpss.Job{nj}})
+	code, body = post(t, base+"/delta", api.SessionDeltaRequest{AddJobs: []mpss.Job{nj}})
 	if code != http.StatusOK {
 		t.Fatalf("delta add: status %d (%.300s)", code, body)
 	}
@@ -126,7 +127,7 @@ func TestSessionLifecycle(t *testing.T) {
 
 	// Delta 3: retune the cap; the verdict rides the response.
 	cap := 1e6
-	code, body = post(t, base+"/delta", SessionDeltaRequest{Cap: &cap})
+	code, body = post(t, base+"/delta", api.SessionDeltaRequest{Cap: &cap})
 	if code != http.StatusOK {
 		t.Fatalf("delta cap: status %d (%.300s)", code, body)
 	}
@@ -146,7 +147,7 @@ func TestSessionLifecycle(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("session get: status %d (%.300s)", code, body)
 	}
-	var got SessionResponse
+	var got api.SessionResponse
 	if err := json.Unmarshal(body, &got); err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestSessionLifecycle(t *testing.T) {
 	if code, _ := do(t, http.MethodGet, base); code != http.StatusNotFound {
 		t.Errorf("get after delete: status %d, want 404", code)
 	}
-	if code, _ := post(t, base+"/delta", SessionDeltaRequest{}); code != http.StatusNotFound {
+	if code, _ := post(t, base+"/delta", api.SessionDeltaRequest{}); code != http.StatusNotFound {
 		t.Errorf("delta after delete: status %d, want 404", code)
 	}
 	if code, _ := do(t, http.MethodDelete, base); code != http.StatusNotFound {
@@ -176,11 +177,11 @@ func TestSessionLifecycle(t *testing.T) {
 func TestSessionLongPoll(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2})
 	jobs, m := testInstance()
-	code, body := post(t, ts.URL+"/v1/session", SolveRequest{M: m, Jobs: jobs})
+	code, body := post(t, ts.URL+"/v1/session", api.SolveRequest{M: m, Jobs: jobs})
 	if code != http.StatusOK {
 		t.Fatalf("session create: status %d (%.300s)", code, body)
 	}
-	var sr SessionResponse
+	var sr api.SessionResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}
@@ -188,14 +189,14 @@ func TestSessionLongPoll(t *testing.T) {
 
 	go func() {
 		time.Sleep(100 * time.Millisecond)
-		post(t, base+"/delta", SessionDeltaRequest{RemoveIDs: []int{jobs[0].ID}})
+		post(t, base+"/delta", api.SessionDeltaRequest{RemoveIDs: []int{jobs[0].ID}})
 	}()
 	start := time.Now()
 	code, body = do(t, http.MethodGet, fmt.Sprintf("%s?wait_seq=%d&timeout_ms=5000", base, sr.Seq))
 	if code != http.StatusOK {
 		t.Fatalf("long-poll: status %d (%.300s)", code, body)
 	}
-	var got SessionResponse
+	var got api.SessionResponse
 	if err := json.Unmarshal(body, &got); err != nil {
 		t.Fatal(err)
 	}
@@ -211,11 +212,11 @@ func TestSessionLongPoll(t *testing.T) {
 func TestSessionTTLEviction(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, SessionTTL: 50 * time.Millisecond})
 	jobs, m := testInstance()
-	code, body := post(t, ts.URL+"/v1/session", SolveRequest{M: m, Jobs: jobs})
+	code, body := post(t, ts.URL+"/v1/session", api.SolveRequest{M: m, Jobs: jobs})
 	if code != http.StatusOK {
 		t.Fatalf("session create: status %d (%.300s)", code, body)
 	}
-	var sr SessionResponse
+	var sr api.SessionResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}
@@ -239,36 +240,36 @@ func TestSessionLimits(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, MaxSessions: 1, SessionMaxJobs: 3})
 	jobs, m := testInstance() // 2 jobs, inside the bound of 3
 
-	code, body := post(t, ts.URL+"/v1/session", SolveRequest{M: m, Jobs: jobs})
+	code, body := post(t, ts.URL+"/v1/session", api.SolveRequest{M: m, Jobs: jobs})
 	if code != http.StatusOK {
 		t.Fatalf("session create: status %d (%.300s)", code, body)
 	}
-	var sr SessionResponse
+	var sr api.SessionResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}
 	base := ts.URL + "/v1/session/" + sr.SessionID
 
-	if code, _ := post(t, ts.URL+"/v1/session", SolveRequest{M: m, Jobs: jobs}); code != http.StatusServiceUnavailable {
+	if code, _ := post(t, ts.URL+"/v1/session", api.SolveRequest{M: m, Jobs: jobs}); code != http.StatusServiceUnavailable {
 		t.Errorf("second session: status %d, want 503 (table full)", code)
 	}
 	big := []mpss.Job{
 		{ID: 10, Release: 0, Deadline: 4, Work: 1},
 		{ID: 11, Release: 0, Deadline: 4, Work: 1},
 	}
-	if code, _ := post(t, base+"/delta", SessionDeltaRequest{AddJobs: big}); code != http.StatusRequestEntityTooLarge {
+	if code, _ := post(t, base+"/delta", api.SessionDeltaRequest{AddJobs: big}); code != http.StatusRequestEntityTooLarge {
 		t.Errorf("over-bound delta: status %d, want 413", code)
 	}
-	if code, _ := post(t, ts.URL+"/v1/session", SolveRequest{M: m, Jobs: append(append([]mpss.Job(nil), jobs...), big...)}); code != http.StatusRequestEntityTooLarge {
+	if code, _ := post(t, ts.URL+"/v1/session", api.SolveRequest{M: m, Jobs: append(append([]mpss.Job(nil), jobs...), big...)}); code != http.StatusRequestEntityTooLarge {
 		t.Errorf("over-bound create: status %d, want 413", code)
 	}
 
 	// An invalid mutation (unknown removal) is rejected whole: nothing
 	// applies, the next resolve still matches the untouched job set.
-	if code, _ := post(t, base+"/delta", SessionDeltaRequest{RemoveIDs: []int{777}, AddJobs: []mpss.Job{{ID: 12, Release: 0, Deadline: 4, Work: 1}}}); code != http.StatusBadRequest {
+	if code, _ := post(t, base+"/delta", api.SessionDeltaRequest{RemoveIDs: []int{777}, AddJobs: []mpss.Job{{ID: 12, Release: 0, Deadline: 4, Work: 1}}}); code != http.StatusBadRequest {
 		t.Errorf("unknown removal: status %d, want 400", code)
 	}
-	code, body = post(t, base+"/delta", SessionDeltaRequest{RemoveIDs: []int{jobs[0].ID}})
+	code, body = post(t, base+"/delta", api.SessionDeltaRequest{RemoveIDs: []int{jobs[0].ID}})
 	if code != http.StatusOK {
 		t.Fatalf("post-rejection delta: status %d (%.300s)", code, body)
 	}
@@ -299,7 +300,7 @@ func TestQueueExpiryDeadline504(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		post(t, ts.URL+"/v1/solve/optimal", SolveRequest{M: big.M, Jobs: big.Jobs})
+		post(t, ts.URL+"/v1/solve/optimal", api.SolveRequest{M: big.M, Jobs: big.Jobs})
 	}()
 	<-started
 
@@ -313,7 +314,7 @@ func TestQueueExpiryDeadline504(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		c, b := post(t, ts.URL+"/v1/solve/optimal", SolveRequest{M: m, Jobs: jobs, TimeoutMS: 20})
+		c, b := post(t, ts.URL+"/v1/solve/optimal", api.SolveRequest{M: m, Jobs: jobs, TimeoutMS: 20})
 		resCh <- result{c, b}
 	}()
 	waitFor(t, func() bool { return len(s.queue) == 1 })
@@ -324,9 +325,9 @@ func TestQueueExpiryDeadline504(t *testing.T) {
 	if r.code != http.StatusGatewayTimeout {
 		t.Errorf("expired-in-queue request: status %d, want 504 (%.300s)", r.code, r.body)
 	}
-	var e ErrorResponse
-	if err := json.Unmarshal(r.body, &e); err != nil || e.Kind != "canceled" {
-		t.Errorf("expired-in-queue request: kind %q, want canceled (%.300s)", e.Kind, r.body)
+	var e api.ErrorBody
+	if err := json.Unmarshal(r.body, &e); err != nil || e.Error.Kind != "canceled" {
+		t.Errorf("expired-in-queue request: kind %q, want canceled (%.300s)", e.Error.Kind, r.body)
 	}
 	if got := s.Recorder().Value("server.deadline_exceeded"); got < 1 {
 		t.Errorf("server.deadline_exceeded = %d, want >= 1", got)
@@ -353,13 +354,13 @@ func TestQueueExpiry499OnDisconnect(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		post(t, ts.URL+"/v1/solve/optimal", SolveRequest{M: big.M, Jobs: big.Jobs})
+		post(t, ts.URL+"/v1/solve/optimal", api.SolveRequest{M: big.M, Jobs: big.Jobs})
 	}()
 	<-started
 
 	// B queues, then its client hangs up.
 	ctx, cancel := context.WithCancel(context.Background())
-	data, err := json.Marshal(SolveRequest{M: m, Jobs: jobs})
+	data, err := json.Marshal(api.SolveRequest{M: m, Jobs: jobs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +404,7 @@ func TestStampedeCoalesce(t *testing.T) {
 
 	s, ts := newTestServer(t, Config{Workers: 1, CacheEntries: -1})
 	jobs, m := testInstance()
-	req := SolveRequest{M: m, Jobs: jobs}
+	req := api.SolveRequest{M: m, Jobs: jobs}
 
 	const K = 8
 	type result struct {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"mpss/api"
 	"net/http"
 	"strings"
 	"sync"
@@ -29,7 +30,7 @@ func TestRequestIDPropagation(t *testing.T) {
 
 	// Inbound ID honored, echoed on the response header.
 	const inboundID = "test-req-42"
-	body, _ := json.Marshal(SolveRequest{M: m, Jobs: jobs})
+	body, _ := json.Marshal(api.SolveRequest{M: m, Jobs: jobs})
 	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve/optimal", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +47,7 @@ func TestRequestIDPropagation(t *testing.T) {
 	}
 
 	// Error bodies carry the request ID (here: a 400 invalid instance).
-	badBody, _ := json.Marshal(SolveRequest{M: 0, Jobs: jobs})
+	badBody, _ := json.Marshal(api.SolveRequest{M: 0, Jobs: jobs})
 	req, err = http.NewRequest(http.MethodPost, ts.URL+"/v1/solve/optimal", bytes.NewReader(badBody))
 	if err != nil {
 		t.Fatal(err)
@@ -62,13 +63,13 @@ func TestRequestIDPropagation(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad instance: status %d, want 400", resp.StatusCode)
 	}
-	var e ErrorResponse
+	var e api.ErrorBody
 	if err := json.Unmarshal(errBody, &e); err != nil || e.RequestID != errID {
 		t.Errorf("error body request_id = %q, want %q (%s)", e.RequestID, errID, errBody)
 	}
 
 	// No inbound ID: one is generated, non-empty and well-formed.
-	code, _ := post(t, ts.URL+"/v1/solve/optimal", SolveRequest{M: m, Jobs: jobs})
+	code, _ := post(t, ts.URL+"/v1/solve/optimal", api.SolveRequest{M: m, Jobs: jobs})
 	if code != http.StatusOK {
 		t.Fatalf("plain solve: status %d", code)
 	}
@@ -78,7 +79,7 @@ func TestRequestIDPropagation(t *testing.T) {
 	}
 	io.Copy(io.Discard, resp2.Body)
 	resp2.Body.Close()
-	if gen := resp2.Header.Get("X-Request-ID"); !validRequestID(gen) {
+	if gen := resp2.Header.Get("X-Request-ID"); !api.ValidRequestID(gen) {
 		t.Errorf("generated request ID %q not well-formed", gen)
 	}
 
@@ -152,13 +153,13 @@ func (b *syncBuffer) String() string {
 func TestPrometheusEndpoint(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 2})
 	jobs, m := testInstance()
-	req := SolveRequest{M: m, Jobs: jobs}
+	req := api.SolveRequest{M: m, Jobs: jobs}
 	for i := 0; i < 3; i++ {
 		if code, body := post(t, ts.URL+"/v1/solve/optimal", req); code != http.StatusOK {
 			t.Fatalf("solve %d: status %d (%s)", i, code, body)
 		}
 	}
-	post(t, ts.URL+"/v1/solve/atcap", SolveRequest{M: m, Jobs: jobs, Cap: 0.1}) // 422
+	post(t, ts.URL+"/v1/solve/atcap", api.SolveRequest{M: m, Jobs: jobs, Cap: 0.1}) // 422
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -251,7 +252,7 @@ func TestFlightRecorderConcurrent(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
-				req := SolveRequest{M: m, Jobs: jobs, Cap: 100}
+				req := api.SolveRequest{M: m, Jobs: jobs, Cap: 100}
 				var path string
 				switch (c + r) % 3 {
 				case 0:
@@ -308,7 +309,7 @@ func TestReadyz(t *testing.T) {
 
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
 	jobs, m := testInstance()
-	req := SolveRequest{M: m, Jobs: jobs}
+	req := api.SolveRequest{M: m, Jobs: jobs}
 
 	get := func(path string) (int, string) {
 		resp, err := http.Get(ts.URL + path)
@@ -423,9 +424,9 @@ func (w *recorderWriter) Write(p []byte) (int, error) {
 func TestCachedErrorCarriesFreshRequestID(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	jobs, m := testInstance()
-	infeasible := SolveRequest{M: m, Jobs: jobs, Cap: 0.1}
+	infeasible := api.SolveRequest{M: m, Jobs: jobs, Cap: 0.1}
 
-	send := func(id string) ErrorResponse {
+	send := func(id string) api.ErrorBody {
 		body, _ := json.Marshal(infeasible)
 		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve/atcap", bytes.NewReader(body))
 		if err != nil {
@@ -440,7 +441,7 @@ func TestCachedErrorCarriesFreshRequestID(t *testing.T) {
 		if resp.StatusCode != http.StatusUnprocessableEntity {
 			t.Fatalf("status %d, want 422", resp.StatusCode)
 		}
-		var e ErrorResponse
+		var e api.ErrorBody
 		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 			t.Fatal(err)
 		}
@@ -448,14 +449,18 @@ func TestCachedErrorCarriesFreshRequestID(t *testing.T) {
 	}
 
 	first := send("cache-fill-1")
-	if first.RequestID != "cache-fill-1" || first.Kind != "infeasible" {
+	if first.Error.RequestID != "cache-fill-1" || first.Error.Kind != "infeasible" {
 		t.Fatalf("first 422 = %+v", first)
 	}
-	second := send("cache-replay-2")
-	if second.RequestID != "cache-replay-2" {
-		t.Errorf("replayed 422 request_id = %q, want cache-replay-2", second.RequestID)
+	// The deprecated top-level mirrors must match the nested envelope.
+	if first.Kind != first.Error.Kind || first.RequestID != first.Error.RequestID {
+		t.Fatalf("deprecated mirrors diverge from envelope: %+v", first)
 	}
-	if second.Kind != first.Kind || second.Error != first.Error {
+	second := send("cache-replay-2")
+	if second.Error.RequestID != "cache-replay-2" {
+		t.Errorf("replayed 422 request_id = %q, want cache-replay-2", second.Error.RequestID)
+	}
+	if second.Error.Kind != first.Error.Kind || second.Error.Message != first.Error.Message {
 		t.Errorf("replayed 422 diverged: %+v vs %+v", second, first)
 	}
 }
